@@ -1,0 +1,59 @@
+"""E05 — binary Phantom: selective CI marking (paper Fig. 9 analogue).
+
+The constant-space binary variant: no ER field is written; instead the
+switch sets CI in backward RM cells whose CCR exceeds f·MACR
+(utilization_factor = 5, the value the paper's binary figures use).
+Sources saw-tooth around the grant — coarser than ER mode but still
+fair and RTT-independent, because selectivity is by rate, not by luck.
+"""
+
+import pytest
+
+from repro import AbrParams, BinaryPhantomAlgorithm, PhantomParams
+from repro.analysis import jain_index, print_series
+from repro.atm import AtmNetwork
+from repro.core import phantom_equilibrium_rate
+
+DURATION = 0.4
+#: binary feedback has no ER cap, so pair it with a gentler AIR
+BINARY_AIR = 4.0
+
+
+def build():
+    net = AtmNetwork(
+        algorithm_factory=lambda: BinaryPhantomAlgorithm(PhantomParams()))
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    params = AbrParams(air_nrm=BINARY_AIR)
+    net.add_session("A", route=["S1", "S2"], params=params)
+    net.add_session("B", route=["S1", "S2"], start=0.03, params=params)
+    net.run(until=DURATION)
+    return net
+
+
+def test_e05_binary_ci(run_once, benchmark):
+    net = run_once(build)
+    a, b = net.sessions["A"], net.sessions["B"]
+    trunk = net.trunk("S1", "S2")
+
+    print()
+    print_series(
+        "E05 / Fig.9: binary Phantom (CI only), f = 5",
+        {
+            "ACR A [Mb/s]": a.acr_probe,
+            "ACR B [Mb/s]": b.acr_probe,
+            "MACR  [Mb/s]": trunk.algorithm.macr_probe,
+            "queue [cells]": trunk.queue_probe,
+        },
+        start=0.0, end=DURATION)
+
+    window = (0.25, DURATION)
+    rate_a = a.rate_probe.window(*window).mean()
+    rate_b = b.rate_probe.window(*window).mean()
+    expected = phantom_equilibrium_rate(150.0, 2, 5.0) * 31 / 32
+    benchmark.extra_info.update({"rate_a": rate_a, "rate_b": rate_b})
+
+    assert jain_index([rate_a, rate_b]) > 0.95
+    assert rate_a + rate_b == pytest.approx(2 * expected, rel=0.3)
+    assert trunk.queue_probe.max() < 1500

@@ -1,0 +1,54 @@
+"""E06 — binary Phantom with the NI refinement (paper Fig. 10-11 analogue).
+
+Adds the no-increase band below the CI threshold: sources whose CCR sits
+within (0.8·grant, grant] are told to hold rather than climb.  The
+benchmark contrasts the saw-tooth amplitude of the plain CI-only variant
+(E05) with the NI variant on the same scenario — the refinement should
+never oscillate more.
+"""
+
+from repro import AbrParams, BinaryPhantomAlgorithm, PhantomParams
+from repro.atm import AtmNetwork
+
+DURATION = 0.4
+BINARY_AIR = 2.0
+
+
+def build(use_ni):
+    net = AtmNetwork(
+        algorithm_factory=lambda: BinaryPhantomAlgorithm(
+            PhantomParams(), use_ni=use_ni))
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    params = AbrParams(air_nrm=BINARY_AIR)
+    net.add_session("A", route=["S1", "S2"], params=params)
+    net.add_session("B", route=["S1", "S2"], start=0.03, params=params)
+    net.run(until=DURATION)
+    return net
+
+
+def amplitude(net):
+    acr = net.sessions["A"].acr_probe
+    ticks = [0.25 + i * 1e-3 for i in range(150)]
+    values = acr.resample(ticks)
+    return max(values) - min(values)
+
+
+def test_e06_binary_ni(run_once, benchmark):
+    nets = run_once(lambda: (build(False), build(True)))
+    plain, with_ni = nets
+
+    amp_plain = amplitude(plain)
+    amp_ni = amplitude(with_ni)
+    print(f"\nE06 / Fig.10-11: ACR saw-tooth amplitude "
+          f"plain CI = {amp_plain:.2f} Mb/s, CI+NI = {amp_ni:.2f} Mb/s")
+    benchmark.extra_info.update({"amplitude_plain": amp_plain,
+                                 "amplitude_ni": amp_ni})
+
+    assert amp_ni <= amp_plain
+    # both deliver comparable goodput
+    for net in nets:
+        total = sum(s.rate_probe.window(0.25, DURATION).mean()
+                    for s in net.sessions.values())
+        assert total > 90.0

@@ -1,0 +1,66 @@
+"""E19 — utilization-factor ablation.
+
+The closed form says utilisation is n·f/(n·f + 1): higher f buys
+utilisation.  The sweep verifies the measured utilisation tracks the
+formula while f keeps the control loop stable, and demonstrates the
+boundary the formula hides: the linearised loop gain is α·(n·f + 1), so
+at f = 20 (gain ≈ 2.6 with α_inc = 1/16) the filter limit-cycles and
+utilisation falls *below* the closed form — the utilization factor
+cannot be cranked up for free.
+"""
+
+import pytest
+
+from repro import PhantomAlgorithm, PhantomParams
+from repro.analysis import format_table
+from repro.core import phantom_equilibrium_utilization
+from repro.scenarios import staggered_start
+
+FACTORS = (2.0, 5.0, 10.0, 20.0)
+N_SESSIONS = 2
+DURATION = 0.3
+RM_OVERHEAD = 31 / 32
+
+
+def sweep():
+    results = {}
+    for f in FACTORS:
+        params = PhantomParams(utilization_factor=f)
+        run = staggered_start(lambda p=params: PhantomAlgorithm(p),
+                              n_sessions=N_SESSIONS, duration=DURATION)
+        results[f] = (run.utilization(), run.queue_stats()["max"])
+    return results
+
+
+def test_e19_factor_sweep(run_once, benchmark):
+    results = run_once(sweep)
+
+    rows = []
+    for f, (util, peak_queue) in results.items():
+        expected = phantom_equilibrium_utilization(N_SESSIONS, f)
+        rows.append([f, util, expected * RM_OVERHEAD, peak_queue])
+    print()
+    print(format_table(
+        ["factor f", "measured util", "n·f/(n·f+1)·31/32", "peak queue"],
+        rows))
+    benchmark.extra_info.update(
+        {f"util_f{int(f)}": results[f][0] for f in FACTORS})
+
+    # measured utilisation tracks the closed form while the loop gain
+    # alpha_inc*(n*f+1) stays below the stability bound of 2
+    stable = [f for f in FACTORS
+              if (1 / 16) * (N_SESSIONS * f + 1) < 2]
+    for f in stable:
+        util = results[f][0]
+        expected = phantom_equilibrium_utilization(N_SESSIONS, f)
+        assert util == pytest.approx(expected * RM_OVERHEAD, rel=0.1)
+    # utilisation is monotone across the stable factors
+    utils = [results[f][0] for f in stable]
+    assert utils == sorted(utils)
+    # beyond the bound the loop limit-cycles: utilisation drops below
+    # the closed form instead of approaching 1
+    unstable = [f for f in FACTORS if f not in stable]
+    for f in unstable:
+        util = results[f][0]
+        expected = phantom_equilibrium_utilization(N_SESSIONS, f)
+        assert util < expected * RM_OVERHEAD

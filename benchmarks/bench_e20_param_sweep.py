@@ -1,0 +1,58 @@
+"""E20 — Δt and α sensitivity ablation.
+
+The paper fixes the algorithm's structure but its constants are free.
+The sweep shows the reproduction's defaults sit in a robust region:
+convergence stays fast and queues moderate across a 4× spread of the
+measurement interval and both filter gains.
+"""
+
+import math
+
+from repro import PhantomAlgorithm, PhantomParams
+from repro.analysis import convergence_time, format_table
+from repro.core import phantom_equilibrium_rate
+from repro.scenarios import staggered_start
+
+DURATION = 0.3
+STAGGER = 0.03
+
+VARIANTS = {
+    "default": PhantomParams(),
+    "interval/2": PhantomParams(interval=5e-4),
+    "interval*2": PhantomParams(interval=2e-3),
+    "alpha_inc*2": PhantomParams(alpha_inc=1 / 8),
+    "alpha_inc/2": PhantomParams(alpha_inc=1 / 32),
+    "alpha_dec/2": PhantomParams(alpha_dec=1 / 8),
+}
+
+
+def sweep():
+    target = phantom_equilibrium_rate(150.0, 2, 5.0)
+    results = {}
+    for name, params in VARIANTS.items():
+        run = staggered_start(lambda p=params: PhantomAlgorithm(p),
+                              n_sessions=2, stagger=STAGGER,
+                              duration=DURATION)
+        acr = run.net.sessions["s0"].acr_probe.window(STAGGER, DURATION)
+        settle = convergence_time(acr, target=target, tolerance=0.1)
+        results[name] = (settle - STAGGER, run.queue_stats()["max"],
+                         run.jain())
+    return results
+
+
+def test_e20_param_sweep(run_once, benchmark):
+    results = run_once(sweep)
+
+    print()
+    print(format_table(
+        ["variant", "settle ms", "peak queue", "Jain"],
+        [[name, settle * 1e3, queue, jain]
+         for name, (settle, queue, jain) in results.items()]))
+    benchmark.extra_info.update(
+        {f"settle_{k}": v[0] for k, v in results.items()})
+
+    for name, (settle, queue, jain) in results.items():
+        assert settle is not math.inf, name
+        assert settle < 0.1, f"{name} settled too slowly"
+        assert queue < 2000, f"{name} queue blow-up"
+        assert jain > 0.95, f"{name} unfair"

@@ -1,0 +1,67 @@
+"""E23 — ABR under guaranteed (CBR/VBR) background traffic (extension).
+
+ABR is the service that uses what the guaranteed classes leave; the
+residual-bandwidth principle must track a *time-varying* capacity.  A
+CBR stream taking 60 of the 150 Mb/s turns on at 150 ms and off at
+300 ms; the two Phantom-controlled ABR sessions must move between the
+full-capacity share f·C/(2f+1) ≈ 68.2 and the reduced share
+f·(C−60)/(2f+1) ≈ 40.9 Mb/s, in a few measurement intervals each way.
+"""
+
+import pytest
+
+from repro import PhantomAlgorithm, phantom_equilibrium_rate
+from repro.analysis import print_series
+from repro.atm import AtmNetwork
+
+DURATION = 0.45
+CBR_RATE = 60.0
+CBR_ON, CBR_OFF = 0.15, 0.30
+
+
+def build():
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    net.add_session("A", route=["S1", "S2"])
+    net.add_session("B", route=["S1", "S2"])
+    net.add_cbr("bg", route=["S1", "S2"], rate_mbps=CBR_RATE,
+                start=CBR_ON, stop=CBR_OFF)
+    net.run(until=DURATION)
+    return net
+
+
+def test_e23_cbr_background(run_once, benchmark):
+    net = run_once(build)
+    a = net.sessions["A"]
+    trunk = net.trunk("S1", "S2")
+
+    print()
+    print_series(
+        "E23: CBR background 60 Mb/s in [150 ms, 300 ms]",
+        {
+            "ACR A      [Mb/s]": a.acr_probe,
+            "MACR       [Mb/s]": trunk.algorithm.macr_probe,
+            "ABR queue  [cells]": trunk.abr_queue_probe,
+        },
+        start=0.0, end=DURATION)
+
+    full = phantom_equilibrium_rate(150.0, 2, 5.0)
+    reduced = phantom_equilibrium_rate(90.0, 2, 5.0)
+    before = a.acr_probe.value_at(CBR_ON - 0.005)
+    during = a.acr_probe.value_at(CBR_OFF - 0.005)
+    after = a.acr_probe.value_at(DURATION - 0.005)
+    benchmark.extra_info.update({
+        "acr_before": before, "acr_during": during, "acr_after": after,
+    })
+    print(f"ACR before/during/after: {before:.1f} / {during:.1f} / "
+          f"{after:.1f} Mb/s (forms: {full:.1f} / {reduced:.1f})")
+
+    assert before == pytest.approx(full, rel=0.15)
+    assert during == pytest.approx(reduced, rel=0.15)
+    assert after == pytest.approx(full, rel=0.15)
+    # the guaranteed stream itself must be lossless
+    bg_source, bg_sink = net.background["bg"]
+    assert bg_sink.cells_received == pytest.approx(
+        bg_source.cells_sent, abs=30)

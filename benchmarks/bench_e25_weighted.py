@@ -1,0 +1,53 @@
+"""E25 — weighted Phantom (extension).
+
+One field in the RM cell (the session's weight) turns Phantom into a
+weighted-max-min allocator while staying constant-space: the switch
+stamps ``ER = weight × f × MACR`` and needs no per-VC table.  The
+benchmark runs weights 1:2:4 on one trunk and checks the measured rates
+against the weighted, phantom-adjusted water-filling reference.
+"""
+
+import pytest
+
+from repro import AbrParams, AtmNetwork, PhantomAlgorithm, max_min_allocation
+from repro.analysis import format_table
+
+DURATION = 0.3
+WEIGHTS = {"w1": 1.0, "w2": 2.0, "w4": 4.0}
+
+
+def build():
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    for name, weight in WEIGHTS.items():
+        net.add_session(name, route=["S1", "S2"],
+                        params=AbrParams(weight=weight))
+    net.run(until=DURATION)
+    return net
+
+
+def test_e25_weighted_phantom(run_once, benchmark):
+    net = run_once(build)
+    reference = max_min_allocation(
+        {"l": 150.0}, {name: ["l"] for name in WEIGHTS},
+        phantom_weight=1.0 / 5.0, weights=WEIGHTS)
+
+    rows = []
+    for name in WEIGHTS:
+        measured = net.sessions[name].source.acr
+        rows.append([name, WEIGHTS[name], measured, reference[name]])
+    print()
+    print(format_table(
+        ["session", "weight", "measured ACR Mb/s", "weighted max-min"],
+        rows))
+    benchmark.extra_info.update(
+        {name: net.sessions[name].source.acr for name in WEIGHTS})
+
+    for name in WEIGHTS:
+        assert net.sessions[name].source.acr == pytest.approx(
+            reference[name], rel=0.1)
+    # exact proportionality between any two weights
+    assert net.sessions["w4"].source.acr == pytest.approx(
+        4 * net.sessions["w1"].source.acr, rel=0.05)

@@ -1,0 +1,54 @@
+"""Analytic loop model vs full simulation.
+
+The discrete-time model (`repro.core.model`) predicts equilibria and
+convergence in microseconds; this benchmark validates it against the
+cell-level simulator across session counts, so the model can be trusted
+for parameter exploration (e.g. picking gains that satisfy the
+α_inc·(n·f+1) < 2 bound before burning simulation time).
+"""
+
+import pytest
+
+from repro import PhantomAlgorithm
+from repro.analysis import format_table
+from repro.atm import AtmNetwork
+from repro.core import PhantomLoopModel
+
+DURATION = 0.25
+SESSION_COUNTS = (1, 2, 3)
+
+
+def simulate(n_sessions):
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    sessions = [net.add_session(f"s{i}", route=["S1", "S2"])
+                for i in range(n_sessions)]
+    net.run(until=DURATION)
+    return sessions[0].source.acr
+
+
+def test_model_validation(run_once, benchmark):
+    model = PhantomLoopModel(150.0)
+
+    def compare():
+        results = {}
+        for n in SESSION_COUNTS:
+            trace = model.run(n_sessions=n, intervals=250)
+            results[n] = (trace.final_rates()[0], simulate(n))
+        return results
+
+    results = run_once(compare)
+
+    rows = [[n, model_rate, sim_rate, model.equilibrium_rate(n)]
+            for n, (model_rate, sim_rate) in results.items()]
+    print()
+    print(format_table(
+        ["sessions", "model ACR", "simulated ACR", "closed form"], rows))
+    benchmark.extra_info.update(
+        {f"n{n}_model": r[0] for n, r in results.items()})
+
+    for n, (model_rate, sim_rate) in results.items():
+        assert model_rate == pytest.approx(sim_rate, rel=0.05), n
+        assert model.is_stable(n)

@@ -1,0 +1,59 @@
+"""Per-event algorithm overhead micro-benchmarks (paper Fig. 1/18 —
+"simple" and "constant space" made measurable).
+
+Times the two hot operations each scheme adds to a switch/router data
+path: the per-cell arrival bookkeeping and the per-RM-cell marking.
+These are the operations the paper argues are cheap enough for hardware;
+here they bound the simulator's own cost per cell.
+"""
+
+from repro import PhantomAlgorithm, PhantomParams
+from repro.atm import Cell, OutputPort, RMCell, RMDirection
+from repro.baselines import CapcAlgorithm, EprcaAlgorithm
+from repro.sim import Simulator
+from repro.tcp import PacketPort, Segment, SelectiveDiscard
+
+
+class NullSink:
+    def receive(self, cell):
+        pass
+
+
+def attach(alg):
+    sim = Simulator()
+    OutputPort(sim, "p", rate_mbps=150.0, sink=NullSink(), algorithm=alg)
+    return alg
+
+
+def test_overhead_phantom_arrival(benchmark):
+    alg = attach(PhantomAlgorithm(PhantomParams()))
+    cell = Cell(vc="A")
+    benchmark(alg.on_arrival, cell)
+    assert alg.meter.cells_this_interval > 0
+
+
+def test_overhead_phantom_backward_rm(benchmark):
+    alg = attach(PhantomAlgorithm(PhantomParams()))
+    rm = RMCell(vc="A", direction=RMDirection.BACKWARD, er=150.0)
+    benchmark(alg.on_backward_rm, rm)
+    assert rm.er <= 150.0
+
+
+def test_overhead_eprca_forward_rm(benchmark):
+    alg = attach(EprcaAlgorithm())
+    rm = RMCell(vc="A", direction=RMDirection.FORWARD, ccr=50.0)
+    benchmark(alg.on_forward_rm, rm)
+
+
+def test_overhead_capc_backward_rm(benchmark):
+    alg = attach(CapcAlgorithm())
+    rm = RMCell(vc="A", direction=RMDirection.BACKWARD, er=150.0, ccr=50.0)
+    benchmark(alg.on_backward_rm, rm)
+
+
+def test_overhead_selective_discard_accepts(benchmark):
+    sim = Simulator()
+    policy = SelectiveDiscard()
+    PacketPort(sim, "p", rate_mbps=10.0, sink=NullSink(), policy=policy)
+    segment = Segment(flow="a", seq=0, payload=512, cr=1.0)
+    benchmark(policy.accepts, segment)

@@ -1,0 +1,78 @@
+"""Summary table — every switch algorithm on the standard scenario.
+
+The cross-algorithm digest of the Section-5 comparison: Jain index,
+utilisation, convergence time, and queue behaviour for Phantom (ER and
+binary), EPRCA, APRC, CAPC, and ERICA on the two-session staggered-start
+configuration.  This is the one table to read first.
+"""
+
+import math
+
+from repro import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
+                   PhantomAlgorithm)
+from repro.analysis import convergence_time, format_table
+from repro.baselines import EricaAlgorithm
+from repro.core import BinaryPhantomAlgorithm
+from repro.scenarios import staggered_start
+
+DURATION = 0.4
+STAGGER = 0.03
+
+ALGORITHMS = {
+    "phantom": PhantomAlgorithm,
+    "phantom-binary": BinaryPhantomAlgorithm,
+    "eprca": EprcaAlgorithm,
+    "aprc": AprcAlgorithm,
+    "capc": CapcAlgorithm,
+    "erica": EricaAlgorithm,
+}
+
+
+def settle_time(run) -> float:
+    """Time after the join for s0 to stay within 15% of its final rate."""
+    acr = run.net.sessions["s0"].acr_probe
+    final = run.steady_rates()["s0"] * 32 / 31  # back to ACR scale
+    return convergence_time(acr.window(STAGGER, DURATION), target=final,
+                            tolerance=0.15, hold=0.02) - STAGGER
+
+
+def measure(factory):
+    run = staggered_start(factory, n_sessions=2, stagger=STAGGER,
+                          duration=DURATION)
+    queue = run.queue_stats()
+    steady_queue = run.queue_stats(0.3, DURATION)
+    return {
+        "jain": run.jain(),
+        "util": run.utilization(),
+        "settle": settle_time(run),
+        "peak_q": queue["max"],
+        "steady_q": steady_queue["mean"],
+    }
+
+
+def test_table1_summary(run_once, benchmark):
+    results = run_once(lambda: {
+        name: measure(factory) for name, factory in ALGORITHMS.items()})
+
+    rows = []
+    for name, r in results.items():
+        settle = ("-" if math.isinf(r["settle"])
+                  else f"{r['settle'] * 1e3:.1f}")
+        rows.append([name, r["jain"], r["util"], settle,
+                     r["peak_q"], r["steady_q"]])
+    print()
+    print(format_table(
+        ["algorithm", "Jain", "util", "settle ms", "peak q", "steady q"],
+        rows))
+    benchmark.extra_info.update(
+        {f"{name}_util": r["util"] for name, r in results.items()})
+
+    for name, r in results.items():
+        assert r["jain"] > 0.9, name
+        assert r["util"] > 0.6, name
+    # the paper's headline: Phantom settles fast with a near-empty
+    # steady queue; the threshold schemes park their queues high
+    assert results["phantom"]["settle"] < 0.05
+    assert results["phantom"]["steady_q"] < 20
+    assert results["eprca"]["steady_q"] > 50
+    assert results["aprc"]["steady_q"] > 50

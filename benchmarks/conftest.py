@@ -1,0 +1,23 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_eNN_*.py`` file regenerates one experiment of DESIGN.md's
+index: it runs the scenario once under ``benchmark.pedantic`` (so
+pytest-benchmark reports the simulation cost), prints the series/rows the
+corresponding paper figure shows (visible with ``pytest -s``), records
+headline numbers in ``benchmark.extra_info``, and asserts the qualitative
+shape the paper claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument scenario function exactly once, timed."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in ``setup.cfg``.
+
+The setup.cfg/setup.py layout (instead of pyproject.toml) is deliberate:
+this execution environment is offline and its pip cannot satisfy PEP 517
+build isolation, while the legacy path installs with a plain
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

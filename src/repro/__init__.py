@@ -1,0 +1,68 @@
+"""Reproduction of *Phantom: A Simple and Effective Flow Control Scheme*
+(Afek, Mansour, Ostfeld — SIGCOMM 1996).
+
+Quick start::
+
+    from repro import AtmNetwork, PhantomAlgorithm
+
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1"); net.add_switch("S2")
+    net.connect("S1", "S2")
+    a = net.add_session("A", route=["S1", "S2"])
+    b = net.add_session("B", route=["S1", "S2"], start=0.030)
+    net.run(until=0.25)
+    print(a.source.acr, b.source.acr)   # ~68 Mb/s each: f*C/(n*f+1)
+
+Packages
+--------
+``repro.sim``        discrete-event kernel (BONeS substitute)
+``repro.atm``        ABR end systems, switches, links (TM 4.0 subset)
+``repro.core``       Phantom: MACR filter, ER + binary variants, max-min
+``repro.baselines``  EPRCA, APRC, CAPC (ATM Forum comparisons)
+``repro.tcp``        TCP Reno, drop-tail/RED routers, Selective Discard,
+                     Selective Source Quench, selective EFCI, Selective RED
+``repro.scenarios``  the paper's evaluation configurations
+``repro.analysis``   fairness/convergence/queue metrics and reporting
+"""
+
+from repro.atm import AbrParams, AtmNetwork, PAPER_PARAMS
+from repro.baselines import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
+                             EricaAlgorithm)
+from repro.core import (BinaryPhantomAlgorithm, MacrFilter, PhantomAlgorithm,
+                        PhantomParams, max_min_allocation,
+                        phantom_allocation, phantom_equilibrium_rate,
+                        phantom_equilibrium_utilization)
+from repro.sim import Simulator
+from repro.tcp import (DropTail, Red, RenoParams, SelectiveDiscard,
+                       SelectiveEfci, SelectiveQuench, SelectiveRed,
+                       TcpNetwork)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbrParams",
+    "AtmNetwork",
+    "PAPER_PARAMS",
+    "AprcAlgorithm",
+    "CapcAlgorithm",
+    "EprcaAlgorithm",
+    "EricaAlgorithm",
+    "BinaryPhantomAlgorithm",
+    "MacrFilter",
+    "PhantomAlgorithm",
+    "PhantomParams",
+    "max_min_allocation",
+    "phantom_allocation",
+    "phantom_equilibrium_rate",
+    "phantom_equilibrium_utilization",
+    "Simulator",
+    "DropTail",
+    "Red",
+    "RenoParams",
+    "SelectiveDiscard",
+    "SelectiveEfci",
+    "SelectiveQuench",
+    "SelectiveRed",
+    "TcpNetwork",
+    "__version__",
+]

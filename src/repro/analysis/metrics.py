@@ -1,0 +1,113 @@
+"""Metrics used by the paper's evaluation.
+
+Fairness (Jain's index and distance to a reference allocation),
+convergence time, utilisation, and queue statistics — the quantities the
+figures plot and the prose claims ("converges fast to a fair rate
+allocation while generating a moderate queue length").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+from repro.sim import Probe
+
+
+def jain_index(rates: Iterable[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 is perfectly fair."""
+    values = list(rates)
+    if not values:
+        raise ValueError("no rates given")
+    if any(v < 0 for v in values):
+        raise ValueError("rates must be non-negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0  # all zero: degenerate but equal
+    return total * total / (len(values) * squares)
+
+
+def max_min_ratio(rates: Iterable[float]) -> float:
+    """max(rate)/min(rate); 1.0 is perfectly fair, inf when starved."""
+    values = list(rates)
+    if not values:
+        raise ValueError("no rates given")
+    low = min(values)
+    if low <= 0:
+        return math.inf
+    return max(values) / low
+
+
+def allocation_error(measured: Mapping[str, float],
+                     reference: Mapping[str, float]) -> float:
+    """Root-mean-square relative error against a reference allocation.
+
+    Used to score a run against the (phantom-adjusted) max-min rates.
+    """
+    if set(measured) != set(reference):
+        raise ValueError(
+            f"allocations name different sessions: "
+            f"{sorted(measured)} vs {sorted(reference)}")
+    if not measured:
+        raise ValueError("empty allocations")
+    total = 0.0
+    for name, ref in reference.items():
+        if ref <= 0:
+            raise ValueError(f"reference rate for {name!r} must be positive")
+        total += ((measured[name] - ref) / ref) ** 2
+    return math.sqrt(total / len(measured))
+
+
+def convergence_time(probe: Probe, target: float, tolerance: float = 0.1,
+                     hold: float = 0.01) -> float:
+    """Earliest time after which the signal stays within ±tolerance·target.
+
+    The signal must remain in the band for at least ``hold`` seconds and
+    through the end of the recorded series.  Returns ``inf`` if it never
+    settles.
+    """
+    if not len(probe):
+        raise ValueError("probe is empty")
+    if target <= 0:
+        raise ValueError(f"target must be positive, got {target!r}")
+    band = tolerance * target
+    entered: float | None = None
+    for t, v in probe:
+        if abs(v - target) <= band:
+            if entered is None:
+                entered = t
+        else:
+            entered = None
+    if entered is None:
+        return math.inf
+    if probe.times[-1] - entered < hold:
+        return math.inf
+    return entered
+
+
+def utilization(rate_probes: Iterable[Probe], capacity: float,
+                start: float, end: float) -> float:
+    """Aggregate throughput of the probes over [start, end] / capacity."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    if end <= start:
+        raise ValueError("need end > start")
+    total = 0.0
+    for probe in rate_probes:
+        total += probe.window(start, end).time_average(end=end)
+    return total / capacity
+
+
+def queue_stats(probe: Probe, start: float, end: float) -> dict[str, float]:
+    """max / time-average / final queue length over a window."""
+    window = probe.window(start, end)
+    if not len(window):
+        # piecewise-constant: fall back to the held value
+        value = probe.value_at(start)
+        return {"max": value, "mean": value, "final": value}
+    return {
+        "max": window.max(),
+        "mean": window.time_average(end=end),
+        "final": window.last,
+    }

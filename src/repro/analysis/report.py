@@ -1,0 +1,89 @@
+"""Plain-text reporting for the benchmark harness.
+
+The paper's figures are time-series plots; a benchmark run regenerates
+each as (a) a compact ASCII table of sampled values and (b) an ASCII
+sparkline, so "the same rows/series the paper reports" are visible in
+test output without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.sim import Probe
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width table with right-aligned numeric-ish columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Down-sample ``values`` to ``width`` columns of block characters."""
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    low, high = min(values), max(values)
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for v in values:
+        idx = int((v - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[idx])
+    return "".join(chars)
+
+
+def series_block(name: str, probe: Probe, start: float, end: float,
+                 samples: int = 9) -> str:
+    """One figure series: sampled table row plus a sparkline."""
+    if samples < 2:
+        raise ValueError(f"samples must be >= 2, got {samples!r}")
+    times = [start + i * (end - start) / (samples - 1)
+             for i in range(samples)]
+    values = probe.resample(times, default=math.nan)
+    header = "  ".join(f"{t * 1e3:8.1f}ms" for t in times)
+    data = "  ".join("         -" if math.isnan(v) else f"{v:10.2f}"
+                     for v in values)
+    dense = [v for v in probe.resample(
+        [start + i * (end - start) / 119 for i in range(120)],
+        default=math.nan) if not math.isnan(v)]
+    return (f"{name}\n  t:  {header}\n  v:  {data}\n"
+            f"  {sparkline(dense)}")
+
+
+def print_series(title: str, series: Mapping[str, Probe],
+                 start: float, end: float) -> str:
+    """Render and print a titled set of series; returns the text."""
+    blocks = [f"=== {title} ==="]
+    for name, probe in series.items():
+        blocks.append(series_block(name, probe, start, end))
+    text = "\n".join(blocks)
+    print(text)
+    return text

@@ -1,0 +1,71 @@
+"""Time-series utilities: uniform resampling, CSV export, oscillation.
+
+The probes record irregular event-driven samples; the helpers here turn
+them into the uniform grids that external plotting, spectral inspection,
+and the amplitude metrics want.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from typing import Mapping, TextIO
+
+from repro.sim import Probe
+
+
+def uniform_grid(start: float, end: float, samples: int) -> list[float]:
+    """``samples`` evenly spaced instants covering [start, end]."""
+    if samples < 2:
+        raise ValueError(f"samples must be >= 2, got {samples!r}")
+    if end <= start:
+        raise ValueError(f"need end > start, got {start!r}..{end!r}")
+    step = (end - start) / (samples - 1)
+    return [start + i * step for i in range(samples)]
+
+
+def resample_uniform(probe: Probe, start: float, end: float,
+                     samples: int) -> tuple[list[float], list[float]]:
+    """Sample-and-hold the probe onto a uniform grid.
+
+    Instants before the probe's first sample yield NaN.
+    """
+    times = uniform_grid(start, end, samples)
+    return times, probe.resample(times, default=math.nan)
+
+
+def oscillation_amplitude(probe: Probe, start: float, end: float,
+                          samples: int = 200) -> float:
+    """Peak-to-peak excursion of the signal over a window.
+
+    The steady-state figure of merit for the binary variants and the
+    deviation-filter ablation.  NaN-free: instants before the first
+    sample are ignored.
+    """
+    _, values = resample_uniform(probe, start, end, samples)
+    present = [v for v in values if not math.isnan(v)]
+    if not present:
+        raise ValueError("window contains no samples")
+    return max(present) - min(present)
+
+
+def write_csv(out: TextIO, series: Mapping[str, Probe],
+              start: float, end: float, samples: int = 500) -> int:
+    """Write aligned, resampled series as CSV (``time`` + one column per
+    probe).  Returns the number of data rows written.
+
+    This is the export path for users who want to regenerate the paper's
+    figures with their own plotting stack.
+    """
+    if not series:
+        raise ValueError("no series given")
+    times = uniform_grid(start, end, samples)
+    writer = csv.writer(out)
+    writer.writerow(["time"] + list(series))
+    columns = [probe.resample(times, default=math.nan)
+               for probe in series.values()]
+    for i, t in enumerate(times):
+        writer.writerow([f"{t:.9f}"] + [
+            "" if math.isnan(col[i]) else f"{col[i]:.6f}"
+            for col in columns])
+    return len(times)

@@ -1,0 +1,38 @@
+"""ATM / ABR substrate.
+
+Everything needed to stand in for the paper's BONeS configuration:
+53-byte cells and RM cells, TM 4.0 ABR source/destination end systems,
+output-queued switches with pluggable per-port rate-control algorithms,
+serializing links, and a declarative network builder.
+"""
+
+from repro.atm.background import BackgroundSink, CbrSource, VbrSource
+from repro.atm.cell import Cell, RMCell, RMDirection
+from repro.atm.endsystem import AbrDestination, AbrSource
+from repro.atm.link import CellSink, Link
+from repro.atm.network import AtmNetwork, Session, DEFAULT_PROP_DELAY
+from repro.atm.params import AbrParams, PAPER_PARAMS
+from repro.atm.port import OutputPort, PortAlgorithm
+from repro.atm.switch import AtmSwitch, RoutingError
+
+__all__ = [
+    "BackgroundSink",
+    "CbrSource",
+    "VbrSource",
+    "Cell",
+    "RMCell",
+    "RMDirection",
+    "AbrSource",
+    "AbrDestination",
+    "CellSink",
+    "Link",
+    "AtmNetwork",
+    "Session",
+    "DEFAULT_PROP_DELAY",
+    "AbrParams",
+    "PAPER_PARAMS",
+    "OutputPort",
+    "PortAlgorithm",
+    "AtmSwitch",
+    "RoutingError",
+]

@@ -1,0 +1,95 @@
+"""Point-to-point cell links.
+
+A :class:`Link` models serialization at the line rate plus a fixed
+propagation delay.  Cells handed to :meth:`Link.send` are transmitted one
+cell-time apart and delivered to the downstream sink ``propagation``
+seconds after their last bit leaves.  An optional random ``loss_rate``
+supports failure injection — ATM links do corrupt cells, and the control
+loop must survive lost RM cells (the Trm backstop's job).
+
+Anything with a ``receive(cell)`` method can sit at the far end — a switch,
+an end system, or a test stub (see :class:`CellSink`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Protocol
+
+from repro.atm.cell import Cell
+from repro.sim import Simulator, units
+
+
+class CellSink(Protocol):
+    """Anything that accepts cells."""
+
+    def receive(self, cell: Cell) -> None: ...
+
+
+class Link:
+    """Serializing link with propagation delay.
+
+    The internal buffer is unbounded: contention buffering belongs to
+    switch output ports (:mod:`repro.atm.port`), which *feed* links at the
+    line rate, so in a correctly wired network this buffer holds at most
+    one cell.  Sources may momentarily burst above the line rate while
+    their ACR adjusts; the link then paces them out without loss, which
+    matches the paper's end-system model (the access link is never the
+    bottleneck under test).
+    """
+
+    def __init__(self, sim: Simulator, rate_mbps: float,
+                 propagation: float, sink: CellSink, name: str = "",
+                 loss_rate: float = 0.0,
+                 rng: random.Random | None = None):
+        if propagation < 0:
+            raise ValueError(f"propagation must be >= 0, got {propagation!r}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {loss_rate!r}")
+        self.sim = sim
+        self.rate_mbps = rate_mbps
+        self.cell_time = units.cell_time(rate_mbps)
+        self.propagation = propagation
+        self.sink = sink
+        self.name = name
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+        self._buffer: deque[Cell] = deque()
+        self._busy = False
+        #: Total cells delivered to the sink (observability).
+        self.delivered = 0
+        #: Cells destroyed by injected loss.
+        self.lost = 0
+
+    def send(self, cell: Cell) -> None:
+        """Accept a cell for transmission."""
+        self._buffer.append(cell)
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(self.cell_time, self._transmitted)
+
+    def receive(self, cell: Cell) -> None:
+        """CellSink alias, so links compose with switches and ports."""
+        self.send(cell)
+
+    def _transmitted(self) -> None:
+        cell = self._buffer.popleft()
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            self.lost += 1
+        else:
+            self.sim.schedule(self.propagation, self._deliver, cell)
+        if self._buffer:
+            self.sim.schedule(self.cell_time, self._transmitted)
+        else:
+            self._busy = False
+
+    def _deliver(self, cell: Cell) -> None:
+        self.delivered += 1
+        self.sink.receive(cell)
+
+    @property
+    def queued(self) -> int:
+        """Cells awaiting transmission (should stay tiny; see class doc)."""
+        return len(self._buffer)

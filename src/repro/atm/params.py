@@ -1,0 +1,86 @@
+"""ABR end-system parameters.
+
+Defaults are the values stated in the paper (Section 2, quoting ATM Forum
+TM 4.0 [Sat96] Appendix I):
+
+    Nrm = 32, AIR * Nrm = 42.5 Mb/s, RDF = 256, PCR = 150 Mb/s,
+    TOF = 2, TCR = 10 cells/s (4.24 Kb/s), ICR = 8.5 Mb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import units
+
+
+@dataclass(frozen=True, slots=True)
+class AbrParams:
+    """Source/destination behaviour knobs for one ABR session."""
+
+    #: Peak cell rate in Mb/s.  Sources never exceed it.
+    pcr: float = 150.0
+    #: Initial cell rate in Mb/s, used at session start and after an idle
+    #: restart.
+    icr: float = 8.5
+    #: Minimum cell rate in Mb/s.  The trickle rate TCR = 10 cells/s acts
+    #: as the absolute floor.
+    mcr: float = 0.0
+    #: One in-rate RM cell is sent per ``nrm`` cells.
+    nrm: int = 32
+    #: Additive increase per backward RM cell, expressed as AIR * Nrm in
+    #: Mb/s (the product is what the paper states: 42.5 Mb/s).
+    air_nrm: float = 42.5
+    #: Rate decrease factor: CI=1 multiplies ACR by (1 - nrm / rdf).
+    rdf: float = 256.0
+    #: Time-out factor (kept for completeness; see AbrSource docs).
+    tof: float = 2.0
+    #: Upper bound on the time between forward RM cells (TM 4.0's Trm,
+    #: 100 ms).  A source trickling at TCR would otherwise send an RM
+    #: only every Nrm/TCR = 3.2 s and never learn its rate was re-granted.
+    trm: float = 0.1
+    #: Idle time after which a restarting source falls back to ICR
+    #: (use-it-or-lose-it).  ``None`` disables the fallback.
+    idle_reset: float | None = 0.05
+    #: Relative fair-share weight stamped into RM cells (weighted-Phantom
+    #: extension; 1.0 = plain equal share).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pcr <= 0:
+            raise ValueError(f"pcr must be positive, got {self.pcr!r}")
+        if not 0 < self.icr <= self.pcr:
+            raise ValueError(f"icr must be in (0, pcr], got {self.icr!r}")
+        if self.mcr < 0 or self.mcr > self.pcr:
+            raise ValueError(f"mcr must be in [0, pcr], got {self.mcr!r}")
+        if self.nrm < 2:
+            raise ValueError(f"nrm must be >= 2, got {self.nrm!r}")
+        if self.air_nrm <= 0:
+            raise ValueError(f"air_nrm must be positive, got {self.air_nrm!r}")
+        if self.rdf <= self.nrm:
+            raise ValueError(
+                f"rdf must exceed nrm ({self.nrm}), got {self.rdf!r}")
+        if self.trm <= 0:
+            raise ValueError(f"trm must be positive, got {self.trm!r}")
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight!r}")
+
+    @property
+    def tcr_mbps(self) -> float:
+        """The trickle rate TCR in Mb/s (10 cells/s = 4.24 Kb/s)."""
+        return units.cells_per_sec_to_mbps(units.TCR_CELLS_PER_SEC)
+
+    @property
+    def floor_mbps(self) -> float:
+        """Lowest rate a source ever uses: max(MCR, TCR)."""
+        return max(self.mcr, self.tcr_mbps)
+
+    @property
+    def decrease_factor(self) -> float:
+        """Multiplicative decrease applied per CI=1 backward RM cell."""
+        return 1.0 - self.nrm / self.rdf
+
+
+#: The paper's end-system configuration, shared by all experiments unless
+#: a scenario overrides a field.
+PAPER_PARAMS = AbrParams()

@@ -1,0 +1,165 @@
+"""Switch output ports and the algorithm plug-in interface.
+
+An output port owns the only contention queue in the switch model
+(output-queued switch, the standard abstraction in the ATM Forum
+simulation studies the paper compares against).  Each port carries one
+:class:`PortAlgorithm` instance — Phantom, EPRCA, APRC, CAPC, or the no-op
+FIFO — which observes cell arrivals/departures and gets to stamp backward
+RM cells of the sessions whose forward path crosses the port.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.atm.cell import Cell, RMCell, RMDirection
+from repro.atm.link import CellSink
+from repro.sim import Simulator, StepProbe, units
+
+
+class PortAlgorithm:
+    """Base class for per-port rate-control algorithms.
+
+    Subclasses override the ``on_*`` hooks.  All hooks are optional; the
+    base class implements the no-op (plain FIFO) behaviour.
+
+    The constant-space claim of the paper is checkable: every algorithm
+    reports its state through :meth:`state_vars`, and the test suite
+    asserts the size is independent of the number of sessions.
+    """
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self.sim: Simulator | None = None
+        self.port: "OutputPort | None" = None
+
+    def attach(self, sim: Simulator, port: "OutputPort") -> None:
+        """Bind the algorithm to its port; called once by the port."""
+        self.sim = sim
+        self.port = port
+        self.on_attach()
+
+    # -- hooks ---------------------------------------------------------
+    def on_attach(self) -> None:
+        """Initialise timers/state; sim and port are available."""
+
+    def on_arrival(self, cell: Cell) -> None:
+        """Every cell arriving at the port, before any drop decision."""
+
+    def on_departure(self, cell: Cell) -> None:
+        """Every cell leaving the port onto the wire."""
+
+    def on_forward_rm(self, rm: RMCell) -> None:
+        """A forward RM cell transiting this port (may be modified)."""
+
+    def on_backward_rm(self, rm: RMCell) -> None:
+        """A backward RM cell of a session whose *forward* path uses this
+        port.  This is where explicit rates are stamped."""
+
+    # -- introspection ---------------------------------------------------
+    def state_vars(self) -> dict[str, float]:
+        """The algorithm's mutable scalar state, for constant-space checks."""
+        return {}
+
+
+class OutputPort(CellSink):
+    """Priority output port: bounded queues + line-rate transmitter.
+
+    Cells are serialized at ``rate_mbps`` and delivered to ``sink`` after
+    ``propagation`` seconds.  Two strict-priority levels are served
+    (level 0 = guaranteed CBR/VBR, level 1 = ABR), making the ABR queue
+    see exactly the *residual* service the guaranteed traffic leaves —
+    the quantity Phantom measures.  The total queue length (in cells) is
+    recorded in :attr:`queue_probe`, the ABR level separately in
+    :attr:`abr_queue_probe` — the "Queue length" series of the paper's
+    figures.
+    """
+
+    PRIORITY_LEVELS = 2
+
+    def __init__(self, sim: Simulator, name: str, rate_mbps: float,
+                 sink: CellSink, algorithm: PortAlgorithm | None = None,
+                 buffer_cells: int | None = None, propagation: float = 0.0):
+        if buffer_cells is not None and buffer_cells < 1:
+            raise ValueError(f"buffer_cells must be >= 1, got {buffer_cells!r}")
+        self.sim = sim
+        self.name = name
+        self.rate_mbps = rate_mbps
+        self.cell_time = units.cell_time(rate_mbps)
+        self.sink = sink
+        self.buffer_cells = buffer_cells
+        self.propagation = propagation
+        self.algorithm = algorithm or PortAlgorithm()
+        self.algorithm.attach(sim, self)
+
+        self._queues: list[deque[Cell]] = [
+            deque() for _ in range(self.PRIORITY_LEVELS)]
+        self._busy = False
+        #: Queue holding the cell currently being serialized; priorities
+        #: are non-preemptive, so the choice is fixed at service start.
+        self._serving: deque[Cell] | None = None
+
+        self.queue_probe = StepProbe(f"{name}.queue")
+        self.abr_queue_probe = StepProbe(f"{name}.abr_queue")
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+        self.drops_by_vc: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_len(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    @property
+    def abr_queue_len(self) -> int:
+        return len(self._queues[-1])
+
+    @property
+    def capacity_cells_per_sec(self) -> float:
+        return units.mbps_to_cells_per_sec(self.rate_mbps)
+
+    def _record_queues(self) -> None:
+        self.queue_probe.record(self.sim.now, self.queue_len)
+        self.abr_queue_probe.record(self.sim.now, self.abr_queue_len)
+
+    # ------------------------------------------------------------------
+    def receive(self, cell: Cell) -> None:
+        """Cell routed to this port by the switch."""
+        self.arrivals += 1
+        self.algorithm.on_arrival(cell)
+        if isinstance(cell, RMCell) and cell.direction is RMDirection.FORWARD:
+            self.algorithm.on_forward_rm(cell)
+        if (self.buffer_cells is not None
+                and self.queue_len >= self.buffer_cells):
+            self.drops += 1
+            self.drops_by_vc[cell.vc] = self.drops_by_vc.get(cell.vc, 0) + 1
+            return
+        level = min(max(cell.priority, 0), self.PRIORITY_LEVELS - 1)
+        self._queues[level].append(cell)
+        self._record_queues()
+        if not self._busy:
+            self._busy = True
+            self._serving = self._queues[level]
+            self.sim.schedule(self.cell_time, self._transmitted)
+
+    def _transmitted(self) -> None:
+        cell = self._serving.popleft()
+        self._record_queues()
+        self.departures += 1
+        self.algorithm.on_departure(cell)
+        if self.propagation > 0:
+            self.sim.schedule(self.propagation, self.sink.receive, cell)
+        else:
+            self.sink.receive(cell)
+        if self.queue_len:
+            self._serving = next(q for q in self._queues if q)
+            self.sim.schedule(self.cell_time, self._transmitted)
+        else:
+            self._busy = False
+            self._serving = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<OutputPort {self.name} {self.rate_mbps}Mb/s "
+                f"q={self.queue_len} alg={self.algorithm.name}>")

@@ -1,0 +1,79 @@
+"""Output-queued ATM switch.
+
+The switch routes cells by virtual-connection identifier:
+
+* forward cells (data and forward RM) go to the session's forward output
+  port, where they queue and may congest;
+* backward RM cells are first shown to the algorithm of the session's
+  *forward* output port — that is where ER/CI marking happens, per the
+  rate-based framework the ATM Forum adopted [Sat96] — and then forwarded
+  toward the source on the reverse path.
+
+Switching latency is zero; all delay and contention live in output ports
+and links, the standard output-queued abstraction.
+"""
+
+from __future__ import annotations
+
+from repro.atm.cell import Cell, RMCell, RMDirection
+from repro.atm.link import CellSink
+from repro.atm.port import OutputPort
+from repro.sim import Simulator
+
+
+class RoutingError(KeyError):
+    """A cell arrived for a VC the switch has no route for."""
+
+
+class AtmSwitch(CellSink):
+    """A named switch with per-VC forward/backward routes."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        #: Forward next hop per VC (an OutputPort, Link, or end system).
+        self._forward: dict[str, CellSink] = {}
+        #: Backward next hop per VC (toward the source).
+        self._backward: dict[str, CellSink] = {}
+        #: The forward OutputPort whose algorithm controls each VC, if any.
+        self._control: dict[str, OutputPort] = {}
+
+    def connect_session(self, vc: str, forward: CellSink,
+                        backward: CellSink) -> None:
+        """Install the two per-VC routes.
+
+        When ``forward`` is an :class:`OutputPort` its algorithm becomes
+        the VC's controller at this switch (backward RM cells are marked
+        by it).  A plain link as ``forward`` means this hop never
+        congests (e.g. the destination access link) and does no marking.
+        """
+        if vc in self._forward:
+            raise ValueError(f"switch {self.name}: vc {vc!r} already routed")
+        self._forward[vc] = forward
+        self._backward[vc] = backward
+        if isinstance(forward, OutputPort):
+            self._control[vc] = forward
+
+    def receive(self, cell: Cell) -> None:
+        if isinstance(cell, RMCell) and cell.direction is RMDirection.BACKWARD:
+            try:
+                backward = self._backward[cell.vc]
+            except KeyError:
+                raise RoutingError(
+                    f"switch {self.name}: no backward route for "
+                    f"vc {cell.vc!r}") from None
+            control = self._control.get(cell.vc)
+            if control is not None:
+                control.algorithm.on_backward_rm(cell)
+            backward.receive(cell)
+            return
+        try:
+            forward = self._forward[cell.vc]
+        except KeyError:
+            raise RoutingError(
+                f"switch {self.name}: no forward route for "
+                f"vc {cell.vc!r}") from None
+        forward.receive(cell)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AtmSwitch {self.name} vcs={sorted(self._forward)}>"

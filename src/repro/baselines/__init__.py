@@ -1,0 +1,24 @@
+"""Constant-space ATM Forum baseline algorithms (paper Section 5).
+
+EPRCA [Rob94], APRC [ST94] and CAPC [Bar94], implemented against the same
+:class:`repro.atm.PortAlgorithm` interface as Phantom so every comparison
+runs on identical substrates.
+"""
+
+from repro.baselines.aprc import AprcAlgorithm, AprcParams
+from repro.baselines.capc import CapcAlgorithm, CapcParams
+from repro.baselines.common import FairShareAlgorithm
+from repro.baselines.eprca import EprcaAlgorithm, EprcaParams
+from repro.baselines.erica import EricaAlgorithm, EricaParams
+
+__all__ = [
+    "AprcAlgorithm",
+    "AprcParams",
+    "CapcAlgorithm",
+    "CapcParams",
+    "FairShareAlgorithm",
+    "EprcaAlgorithm",
+    "EprcaParams",
+    "EricaAlgorithm",
+    "EricaParams",
+]

@@ -1,0 +1,108 @@
+"""APRC — Adaptive Proportional Rate Control [ST94].
+
+Siu and Tzeng's modification of EPRCA (paper Section 5.1): the congested
+state is a function of the *rate at which the queue length changes*
+rather than of the queue length itself — "intelligent congestion
+indication".  The very-congested state remains a plain threshold; the
+paper uses 300 cells and notes that "in some scenarios the queue length
+might often exceed the very congested threshold".
+
+Behaviour per output port:
+
+* MACR: same CCR exponential average as EPRCA;
+* congestion: the queue grew since the previous observation → congested;
+  queue above ``vqt`` → very congested;
+* marking: as EPRCA (intelligent marking when congested, major reduction
+  when very congested).
+
+The queue derivative is sampled every ``sample_interval`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atm.cell import RMCell
+from repro.baselines.common import FairShareAlgorithm
+from repro.sim import PeriodicTimer
+
+
+@dataclass(frozen=True, slots=True)
+class AprcParams:
+    """APRC knobs; values as recommended in [ST94] where stated."""
+
+    av: float = 1.0 / 16.0
+    dpf: float = 7.0 / 8.0
+    erf: float = 15.0 / 16.0
+    mrf: float = 1.0 / 4.0
+    #: Very congested threshold — 300 cells per the paper's quote of [ST94].
+    vqt: int = 300
+    #: Queue-derivative sampling period (s).
+    sample_interval: float = 1e-4
+    macr_init: float = 8.5
+
+    def __post_init__(self) -> None:
+        for name in ("av", "dpf", "erf", "mrf"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+        if self.vqt < 1:
+            raise ValueError(f"vqt must be >= 1, got {self.vqt!r}")
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be positive, "
+                f"got {self.sample_interval!r}")
+        if self.macr_init < 0:
+            raise ValueError(
+                f"macr_init must be >= 0, got {self.macr_init!r}")
+
+
+class AprcAlgorithm(FairShareAlgorithm):
+    """APRC switch behaviour for one output port."""
+
+    name = "aprc"
+
+    def __init__(self, params: AprcParams = AprcParams()):
+        super().__init__()
+        self.params = params
+        self._macr = params.macr_init
+        self._prev_queue = 0
+        self._growing = False
+
+    @property
+    def macr(self) -> float:
+        return self._macr
+
+    @property
+    def congested(self) -> bool:
+        """Queue grew over the last sample period."""
+        return self._growing
+
+    @property
+    def very_congested(self) -> bool:
+        return self.port.queue_len > self.params.vqt
+
+    def on_attach(self) -> None:
+        super().on_attach()
+        PeriodicTimer(self.sim, self.params.sample_interval,
+                      self._sample_queue).start()
+
+    def _sample_queue(self, _timer: PeriodicTimer) -> None:
+        queue = self.port.queue_len
+        self._growing = queue > self._prev_queue
+        self._prev_queue = queue
+
+    def on_forward_rm(self, rm: RMCell) -> None:
+        self._macr += self.params.av * (rm.ccr - self._macr)
+
+    def on_backward_rm(self, rm: RMCell) -> None:
+        p = self.params
+        if self.very_congested:
+            rm.er = min(rm.er, p.mrf * self._macr)
+        elif self.congested and rm.ccr > p.dpf * self._macr:
+            rm.er = min(rm.er, p.erf * self._macr)
+
+    def state_vars(self) -> dict[str, float]:
+        return {"macr": self._macr,
+                "prev_queue": float(self._prev_queue),
+                "growing": float(self._growing)}

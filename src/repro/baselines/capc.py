@@ -1,0 +1,123 @@
+"""CAPC — Congestion Avoidance using Proportional Control [Bar94].
+
+Barnhart's proposal (paper Section 5.2).  CAPC steers a fair-share
+estimate, ERS, by the *fraction* of used capacity — the paper contrasts
+this with Phantom's use of the *absolute* residual:
+
+* every Δt the port computes the load ratio
+  ``z = input_rate / (target_utilization · capacity)``;
+* under-load (z < 1):   ``ERS *= min(ERU, 1 + (1 − z) · Rup)``;
+* over-load  (z ≥ 1):   ``ERS *= max(ERF, 1 − (z − 1) · Rdn)``;
+* every backward RM cell gets ``ER := min(ER, ERS)``;
+* when the queue exceeds ``ct`` the CI bit is set in every backward RM
+  cell (binary safety valve).  Because this CI is indiscriminate, long
+  paths get "beaten down" in very congested states [BdJ94] — reproduced
+  in benchmark E17.
+
+Defaults follow the ranges recommended in [Bar94]: target utilisation
+0.9, Rup = 0.1, Rdn = 0.8, rate caps ERU = 1.5, ERF = 0.5.  The paper's
+Fig. 22 observation — CAPC converges more slowly than Phantom but with a
+smaller transient queue — falls out of the multiplicative (hence
+self-slowing) update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atm.cell import Cell, RMCell
+from repro.baselines.common import FairShareAlgorithm
+from repro.core.residual import ResidualMeter
+from repro.sim import PeriodicTimer
+
+
+@dataclass(frozen=True, slots=True)
+class CapcParams:
+    """CAPC knobs with [Bar94]-recommended defaults."""
+
+    #: Measurement/update interval Δt (s).
+    interval: float = 1e-3
+    #: Fraction of capacity the controller aims to use.
+    target_utilization: float = 0.9
+    #: Proportional gain below target load.
+    rup: float = 0.1
+    #: Proportional gain above target load.
+    rdn: float = 0.8
+    #: Upper cap of the multiplicative increase per interval.
+    eru: float = 1.5
+    #: Lower cap of the multiplicative decrease per interval.
+    erf: float = 0.5
+    #: Queue threshold for setting CI (cells).
+    ct: int = 300
+    #: Initial ERS (Mb/s).
+    ers_init: float = 8.5
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                f"interval must be positive, got {self.interval!r}")
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError(
+                f"target_utilization must be in (0, 1], "
+                f"got {self.target_utilization!r}")
+        if self.rup <= 0 or self.rdn <= 0:
+            raise ValueError("rup and rdn must be positive")
+        if self.eru <= 1:
+            raise ValueError(f"eru must exceed 1, got {self.eru!r}")
+        if not 0 < self.erf < 1:
+            raise ValueError(f"erf must be in (0, 1), got {self.erf!r}")
+        if self.ct < 1:
+            raise ValueError(f"ct must be >= 1, got {self.ct!r}")
+        if self.ers_init <= 0:
+            raise ValueError(
+                f"ers_init must be positive, got {self.ers_init!r}")
+
+
+class CapcAlgorithm(FairShareAlgorithm):
+    """CAPC switch behaviour for one output port."""
+
+    name = "capc"
+
+    def __init__(self, params: CapcParams = CapcParams()):
+        super().__init__()
+        self.params = params
+        self._ers = params.ers_init
+        self.meter: ResidualMeter | None = None
+
+    @property
+    def macr(self) -> float:
+        """CAPC calls its fair-share estimate ERS; same role as MACR."""
+        return self._ers
+
+    @property
+    def ci_active(self) -> bool:
+        return self.port.queue_len > self.params.ct
+
+    def on_attach(self) -> None:
+        self.meter = ResidualMeter(self.port.rate_mbps, self.params.interval)
+        super().on_attach()
+        PeriodicTimer(self.sim, self.params.interval, self._update).start()
+
+    def _update(self, _timer: PeriodicTimer) -> None:
+        p = self.params
+        offered = self.meter.offered_mbps
+        self.meter.close_interval()
+        target = p.target_utilization * self.port.rate_mbps
+        z = offered / target
+        if z < 1.0:
+            self._ers *= min(p.eru, 1.0 + (1.0 - z) * p.rup)
+        else:
+            self._ers *= max(p.erf, 1.0 - (z - 1.0) * p.rdn)
+        self._ers = min(self._ers, self.port.rate_mbps)
+
+    def on_arrival(self, cell: Cell) -> None:
+        self.meter.count()
+
+    def on_backward_rm(self, rm: RMCell) -> None:
+        rm.er = min(rm.er, self._ers)
+        if self.ci_active:
+            rm.ci = True
+
+    def state_vars(self) -> dict[str, float]:
+        return {"ers": self._ers,
+                "cells_this_interval": float(self.meter.cells_this_interval)}

@@ -1,0 +1,37 @@
+"""Shared plumbing for the ATM Forum baseline algorithms.
+
+All three baselines the paper compares against (EPRCA, APRC, CAPC) keep a
+fair-share estimate per output port — called MACR in EPRCA/APRC and ERS in
+CAPC — and a congestion state derived from the queue.  This module gives
+them a common probe/sampling base so the benchmark harness can plot the
+same "MACR" series for every algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.atm.port import PortAlgorithm
+from repro.sim import PeriodicTimer, Probe
+
+
+class FairShareAlgorithm(PortAlgorithm):
+    """Base for algorithms exposing a scalar fair-share estimate."""
+
+    #: How often the fair-share estimate is sampled into the probe (s).
+    probe_interval = 1e-3
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.macr_probe = Probe("macr")
+
+    @property
+    def macr(self) -> float:
+        """Current fair-share estimate in Mb/s (override)."""
+        raise NotImplementedError
+
+    def on_attach(self) -> None:
+        self.macr_probe.name = f"{self.port.name}.macr"
+        self.macr_probe.record(self.sim.now, self.macr)
+        PeriodicTimer(self.sim, self.probe_interval, self._sample).start()
+
+    def _sample(self, _timer: PeriodicTimer) -> None:
+        self.macr_probe.record(self.sim.now, self.macr)

@@ -1,0 +1,97 @@
+"""EPRCA — Enhanced Proportional Rate Control Algorithm [Rob94].
+
+Proposed by Roberts at the July 1994 ATM Forum meeting; the first of the
+three constant-space baselines the paper compares against (Section 5.1).
+
+Per output port:
+
+* **MACR estimation** — a running exponential average of the CCR values
+  carried by *forward* RM cells:  ``MACR += AV · (CCR − MACR)``.  Note
+  this averages what sources currently *send*, not what is fair — one
+  root of EPRCA's documented convergence problems.
+* **Congestion detection** — queue-length thresholds: ``QT`` marks the
+  port congested, ``VQT`` very congested.  The paper points out that the
+  extra control-loop delay of threshold detection causes oscillation and
+  RTT-dependent unfairness [CGBS94, JKVG94, CRBdJ94].
+* **Marking (backward RM)** — when congested, sessions sending above
+  ``DPF · MACR`` get ``ER := min(ER, ERF · MACR)`` (intelligent marking);
+  when very congested every session gets ``ER := min(ER, MRF · MACR)``.
+
+Parameter defaults follow the values recommended in [Rob94] as relayed by
+the survey literature: AV = 1/16, DPF = 7/8, ERF = 15/16, MRF = 1/4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atm.cell import RMCell
+from repro.baselines.common import FairShareAlgorithm
+
+
+@dataclass(frozen=True, slots=True)
+class EprcaParams:
+    """EPRCA knobs with the ATM Forum recommended defaults."""
+
+    #: Exponential averaging factor for MACR.
+    av: float = 1.0 / 16.0
+    #: Down-pressure factor: sessions above DPF*MACR are reduced.
+    dpf: float = 7.0 / 8.0
+    #: Explicit reduction factor applied when congested.
+    erf: float = 15.0 / 16.0
+    #: Major reduction factor applied when very congested.
+    mrf: float = 1.0 / 4.0
+    #: Congested queue threshold (cells).
+    qt: int = 100
+    #: Very congested queue threshold (cells).
+    vqt: int = 300
+    #: Initial MACR (Mb/s); the sources' ICR, as in the Forum studies.
+    macr_init: float = 8.5
+
+    def __post_init__(self) -> None:
+        for name in ("av", "dpf", "erf", "mrf"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+        if not 0 < self.qt <= self.vqt:
+            raise ValueError(
+                f"need 0 < qt <= vqt, got qt={self.qt!r} vqt={self.vqt!r}")
+        if self.macr_init < 0:
+            raise ValueError(
+                f"macr_init must be >= 0, got {self.macr_init!r}")
+
+
+class EprcaAlgorithm(FairShareAlgorithm):
+    """EPRCA switch behaviour for one output port."""
+
+    name = "eprca"
+
+    def __init__(self, params: EprcaParams = EprcaParams()):
+        super().__init__()
+        self.params = params
+        self._macr = params.macr_init
+
+    @property
+    def macr(self) -> float:
+        return self._macr
+
+    @property
+    def congested(self) -> bool:
+        return self.port.queue_len > self.params.qt
+
+    @property
+    def very_congested(self) -> bool:
+        return self.port.queue_len > self.params.vqt
+
+    def on_forward_rm(self, rm: RMCell) -> None:
+        self._macr += self.params.av * (rm.ccr - self._macr)
+
+    def on_backward_rm(self, rm: RMCell) -> None:
+        p = self.params
+        if self.very_congested:
+            rm.er = min(rm.er, p.mrf * self._macr)
+        elif self.congested and rm.ccr > p.dpf * self._macr:
+            rm.er = min(rm.er, p.erf * self._macr)
+
+    def state_vars(self) -> dict[str, float]:
+        return {"macr": self._macr}

@@ -1,0 +1,117 @@
+"""ERICA — Explicit Rate Indication for Congestion Avoidance [JKV94,
+JKVG95, JKG+95].
+
+The paper classifies switch algorithms by state (Section 1): Phantom,
+EPRCA, APRC and CAPC are constant-space; the OSU/ERICA line "maintain[s]
+a counter per session" and so sits in the unbounded-space class
+[CCJ95, KVR95, CR96, TW96, JKG+95].  ERICA is implemented here as that
+class's representative, to let the benchmarks show what the extra state
+buys (exact max-min, fast) and costs (per-VC tables in every port).
+
+Per output port and measurement interval:
+
+* count the input cells and the set of *active* VCs (per-VC state!);
+* overload factor ``z = input rate / target rate`` where
+  ``target = target_utilization × C``;
+* ``fairshare = target rate / active VC count``;
+* every backward RM cell gets
+  ``ER := min(ER, max(fairshare, CCR / z))`` — under-loaded ports raise
+  everyone toward equality, overloaded ports scale senders down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atm.cell import Cell, RMCell
+from repro.baselines.common import FairShareAlgorithm
+from repro.core.residual import ResidualMeter
+from repro.sim import PeriodicTimer
+
+
+@dataclass(frozen=True, slots=True)
+class EricaParams:
+    """ERICA knobs with the OSU-report defaults."""
+
+    #: Measurement interval (s).
+    interval: float = 1e-3
+    #: Fraction of capacity the controller targets.
+    target_utilization: float = 0.9
+    #: Initial fair-share estimate (Mb/s).
+    fairshare_init: float = 8.5
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(
+                f"interval must be positive, got {self.interval!r}")
+        if not 0 < self.target_utilization <= 1:
+            raise ValueError(
+                f"target_utilization must be in (0, 1], "
+                f"got {self.target_utilization!r}")
+        if self.fairshare_init <= 0:
+            raise ValueError(
+                f"fairshare_init must be positive, "
+                f"got {self.fairshare_init!r}")
+
+
+class EricaAlgorithm(FairShareAlgorithm):
+    """ERICA switch behaviour for one output port.
+
+    NOT constant space: :attr:`state_vars` grows with the number of
+    active sessions — asserted (as a contrast) in the test suite.
+    """
+
+    name = "erica"
+
+    def __init__(self, params: EricaParams = EricaParams()):
+        super().__init__()
+        self.params = params
+        self.meter: ResidualMeter | None = None
+        self._fairshare = params.fairshare_init
+        self._overload = 1.0
+        self._active: set[str] = set()
+        self._active_prev: set[str] = set()
+
+    @property
+    def macr(self) -> float:
+        """ERICA's fair-share estimate (probe compatibility)."""
+        return self._fairshare
+
+    @property
+    def overload(self) -> float:
+        return self._overload
+
+    def on_attach(self) -> None:
+        self.meter = ResidualMeter(self.port.rate_mbps, self.params.interval)
+        super().on_attach()
+        PeriodicTimer(self.sim, self.params.interval, self._update).start()
+
+    def _update(self, _timer: PeriodicTimer) -> None:
+        target = self.params.target_utilization * self.port.rate_mbps
+        offered = self.meter.offered_mbps
+        self.meter.close_interval()
+        self._overload = max(offered / target, 1e-6)
+        active = max(len(self._active), 1)
+        self._fairshare = target / active
+        self._active_prev = self._active
+        self._active = set()
+
+    def on_arrival(self, cell: Cell) -> None:
+        self.meter.count()
+        self._active.add(cell.vc)
+
+    def on_backward_rm(self, rm: RMCell) -> None:
+        vc_share = rm.ccr / self._overload
+        rm.er = min(rm.er, max(self._fairshare, vc_share))
+
+    def state_vars(self) -> dict[str, float]:
+        state = {
+            "fairshare": self._fairshare,
+            "overload": self._overload,
+            "cells_this_interval": float(self.meter.cells_this_interval),
+        }
+        # the honest accounting: one entry per VC the port is tracking
+        # (the set in use for fair-share plus the one being collected)
+        for vc in sorted(self._active | self._active_prev):
+            state[f"active:{vc}"] = 1.0
+        return state

@@ -1,0 +1,188 @@
+"""Command-line interface: run any of the paper's configurations.
+
+Examples::
+
+    python -m repro list
+    python -m repro atm --scenario staggered --algorithm phantom
+    python -m repro atm --scenario onoff --algorithm capc --duration 0.5
+    python -m repro tcp --scenario rtt --policy selective-discard
+    python -m repro maxmin --link l1=150 --link l2=150 \\
+        --session long=l1,l2 --session s1=l1 --factor 5
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis import format_table, jain_index, print_series
+from repro.baselines import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
+                             EricaAlgorithm)
+from repro.core import (BinaryPhantomAlgorithm, PhantomAlgorithm,
+                        max_min_allocation)
+from repro.scenarios import (drop_tail_policy, many_flows, mixed_stacks,
+                             on_off, parking_lot, rtt_fairness, rtt_spread,
+                             selective_discard_policy, selective_efci_policy,
+                             selective_quench_policy, selective_red_policy,
+                             staggered_start, tcp_parking_lot, transient,
+                             vegas_thresholds)
+
+ATM_ALGORITHMS = {
+    "phantom": PhantomAlgorithm,
+    "phantom-binary": BinaryPhantomAlgorithm,
+    "eprca": EprcaAlgorithm,
+    "aprc": AprcAlgorithm,
+    "capc": CapcAlgorithm,
+    "erica": EricaAlgorithm,
+}
+
+ATM_SCENARIOS = {
+    "staggered": staggered_start,
+    "onoff": on_off,
+    "rtt": rtt_spread,
+    "parking-lot": parking_lot,
+    "transient": transient,
+}
+
+TCP_POLICIES = {
+    "drop-tail": drop_tail_policy,
+    "selective-discard": selective_discard_policy,
+    "quench": selective_quench_policy,
+    "efci": selective_efci_policy,
+    "selective-red": selective_red_policy,
+}
+
+TCP_SCENARIOS = {
+    "rtt": rtt_fairness,
+    "parking-lot": tcp_parking_lot,
+    "many": many_flows,
+    "vegas": vegas_thresholds,
+    "mixed": mixed_stacks,
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("ATM scenarios :", ", ".join(sorted(ATM_SCENARIOS)))
+    print("ATM algorithms:", ", ".join(sorted(ATM_ALGORITHMS)))
+    print("TCP scenarios :", ", ".join(sorted(TCP_SCENARIOS)))
+    print("TCP policies  :", ", ".join(sorted(TCP_POLICIES)))
+    return 0
+
+
+def _cmd_atm(args: argparse.Namespace) -> int:
+    algorithm = ATM_ALGORITHMS[args.algorithm]
+    scenario = ATM_SCENARIOS[args.scenario]
+    kwargs = {"duration": args.duration}
+    if args.scenario == "staggered" and args.sessions is not None:
+        kwargs["n_sessions"] = args.sessions
+    run = scenario(algorithm, **kwargs)
+
+    series = {f"ACR {vc} [Mb/s]": s.acr_probe
+              for vc, s in run.net.sessions.items()}
+    if run.macr_probe is not None:
+        series["MACR [Mb/s]"] = run.macr_probe
+    series["queue [cells]"] = run.queue_probe
+    print_series(f"{args.scenario} under {args.algorithm}", series,
+                 start=0.0, end=args.duration)
+
+    rates = run.steady_rates()
+    queue = run.queue_stats()
+    print()
+    print(format_table(
+        ["session", "steady rate Mb/s"],
+        [[vc, rate] for vc, rate in sorted(rates.items())]))
+    print()
+    print(f"Jain index : {jain_index(rates.values()):.4f}")
+    print(f"utilisation: {run.utilization():.3f}")
+    print(f"queue      : peak {queue['max']:.0f}, "
+          f"mean {queue['mean']:.1f} cells")
+    return 0
+
+
+def _cmd_tcp(args: argparse.Namespace) -> int:
+    policy = TCP_POLICIES[args.policy]
+    scenario = TCP_SCENARIOS[args.scenario]
+    run = scenario(policy(), duration=args.duration)
+
+    rates = run.goodputs()
+    print(format_table(
+        ["flow", "goodput Mb/s"],
+        [[f, r] for f, r in sorted(rates.items())]))
+    print()
+    print(f"Jain index  : {jain_index(rates.values()):.4f}")
+    print(f"total       : {run.total_goodput():.2f} Mb/s")
+    print(f"bottleneck q: peak {run.queue_stats()['max']:.0f}, "
+          f"mean {run.queue_stats()['mean']:.1f} packets")
+    return 0
+
+
+def _parse_pairs(pairs: Sequence[str], what: str) -> dict[str, str]:
+    out = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise SystemExit(f"bad {what} spec {pair!r}; expected name=value")
+        out[name] = value
+    return out
+
+
+def _cmd_maxmin(args: argparse.Namespace) -> int:
+    capacities = {name: float(value) for name, value in
+                  _parse_pairs(args.link, "link").items()}
+    routes = {name: value.split(",") for name, value in
+              _parse_pairs(args.session, "session").items()}
+    weight = 1.0 / args.factor if args.factor else 0.0
+    rates = max_min_allocation(capacities, routes, phantom_weight=weight)
+    label = (f"phantom max-min (f={args.factor})" if args.factor
+             else "classic max-min")
+    print(format_table(["session", f"{label} rate"],
+                       [[s, r] for s, r in sorted(rates.items())]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Phantom flow-control reproduction (SIGCOMM 1996)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenarios, algorithms, policies"
+                   ).set_defaults(fn=_cmd_list)
+
+    atm = sub.add_parser("atm", help="run an ATM scenario")
+    atm.add_argument("--scenario", choices=sorted(ATM_SCENARIOS),
+                     default="staggered")
+    atm.add_argument("--algorithm", choices=sorted(ATM_ALGORITHMS),
+                     default="phantom")
+    atm.add_argument("--duration", type=float, default=0.3)
+    atm.add_argument("--sessions", type=int, default=None,
+                     help="session count (staggered scenario only)")
+    atm.set_defaults(fn=_cmd_atm)
+
+    tcp = sub.add_parser("tcp", help="run a TCP scenario")
+    tcp.add_argument("--scenario", choices=sorted(TCP_SCENARIOS),
+                     default="rtt")
+    tcp.add_argument("--policy", choices=sorted(TCP_POLICIES),
+                     default="selective-discard")
+    tcp.add_argument("--duration", type=float, default=20.0)
+    tcp.set_defaults(fn=_cmd_tcp)
+
+    maxmin = sub.add_parser(
+        "maxmin", help="compute a (phantom) max-min allocation")
+    maxmin.add_argument("--link", action="append", required=True,
+                        metavar="NAME=CAPACITY")
+    maxmin.add_argument("--session", action="append", required=True,
+                        metavar="NAME=LINK1,LINK2,...")
+    maxmin.add_argument("--factor", type=float, default=None,
+                        help="utilization factor; omit for classic max-min")
+    maxmin.set_defaults(fn=_cmd_maxmin)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Phantom — the paper's primary contribution.
+
+Explicit-rate and binary-feedback variants of the constant-space flow
+control algorithm, its MACR filter and residual meter, the closed-form
+equilibrium, and max-min fairness reference solvers.
+"""
+
+from repro.core.fairness import max_min_allocation, phantom_allocation
+from repro.core.macr import MacrFilter
+from repro.core.model import LoopTrace, PhantomLoopModel
+from repro.core.params import DEFAULT_PHANTOM_PARAMS, PhantomParams
+from repro.core.phantom import (PhantomAlgorithm, phantom_equilibrium_rate,
+                                phantom_equilibrium_utilization)
+from repro.core.phantom_binary import BinaryPhantomAlgorithm
+from repro.core.residual import ResidualMeter
+
+__all__ = [
+    "max_min_allocation",
+    "phantom_allocation",
+    "MacrFilter",
+    "LoopTrace",
+    "PhantomLoopModel",
+    "DEFAULT_PHANTOM_PARAMS",
+    "PhantomParams",
+    "PhantomAlgorithm",
+    "BinaryPhantomAlgorithm",
+    "phantom_equilibrium_rate",
+    "phantom_equilibrium_utilization",
+    "ResidualMeter",
+]

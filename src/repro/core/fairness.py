@@ -1,0 +1,167 @@
+"""Max-min fairness reference solvers.
+
+The paper measures Phantom against the max-min criterion [BG87, Jaf81]:
+an allocation is max-min fair when no session's rate can grow without
+shrinking the rate of a session that has equal or less.  The minimum fair
+share of link l is ``FS_l = C_l / n_l`` and a set of flows is max-min
+fair when every flow equals the minimum fair share along its path.
+
+Phantom converges not to the classic allocation but to the
+**phantom-adjusted** one: every link carries one extra imaginary session
+that permanently consumes ``level / f`` at local fair-share level
+``level`` (from the equilibrium ``r = f·Δ``, the phantom's take is
+``Δ = r/f``).  The classic allocation is the ``f → ∞`` limit.
+
+Both are computed by the standard water-filling algorithm; the phantom
+just adds a ``1/f`` weight to every link's denominator that never
+saturates.
+"""
+
+from __future__ import annotations
+
+
+def _validate(capacities: dict[str, float],
+              routes: dict[str, list[str]]) -> None:
+    if not capacities:
+        raise ValueError("no links given")
+    for link, cap in capacities.items():
+        if cap <= 0:
+            raise ValueError(f"link {link!r} capacity must be positive, "
+                             f"got {cap!r}")
+    for session, path in routes.items():
+        if not path:
+            raise ValueError(f"session {session!r} has an empty route")
+        for link in path:
+            if link not in capacities:
+                raise ValueError(
+                    f"session {session!r} crosses unknown link {link!r}")
+        if len(set(path)) != len(path):
+            raise ValueError(
+                f"session {session!r} crosses a link twice: {path!r}")
+
+
+def _water_fill(capacities: dict[str, float],
+                routes: dict[str, list[str]],
+                phantom_weight: float,
+                weights: dict[str, float] | None = None,
+                ) -> dict[str, float]:
+    """Core water-filling pass (validated inputs).
+
+    With ``weights``, session s receives ``w_s × level`` at the common
+    water level — weighted max-min [Cha94]-style.
+    """
+    weights = weights or {}
+    remaining_cap = dict(capacities)
+    unfixed: dict[str, set[str]] = {link: set() for link in capacities}
+    for session, path in routes.items():
+        for link in path:
+            unfixed[link].add(session)
+
+    rates: dict[str, float] = {}
+    pending = set(routes)
+    while pending:
+        # water level of each link that still constrains someone
+        levels = {
+            link: remaining_cap[link] / (
+                sum(weights.get(s, 1.0) for s in sessions) + phantom_weight)
+            for link, sessions in unfixed.items() if sessions
+        }
+        bottleneck = min(levels, key=levels.get)
+        level = levels[bottleneck]
+        for session in sorted(unfixed[bottleneck]):
+            rate = weights.get(session, 1.0) * level
+            rates[session] = rate
+            pending.discard(session)
+            for link in routes[session]:
+                unfixed[link].discard(session)
+                remaining_cap[link] -= rate
+    return rates
+
+
+def max_min_allocation(capacities: dict[str, float],
+                       routes: dict[str, list[str]],
+                       phantom_weight: float = 0.0,
+                       minimums: dict[str, float] | None = None,
+                       weights: dict[str, float] | None = None,
+                       ) -> dict[str, float]:
+    """Water-filling max-min allocation.
+
+    Parameters
+    ----------
+    capacities:
+        Link name → capacity (any consistent rate unit).
+    routes:
+        Session name → list of links it crosses.
+    phantom_weight:
+        Extra, never-saturating demand weight per link; ``0`` gives the
+        classic allocation, ``1/f`` the phantom-adjusted one.
+    minimums:
+        Optional session name → guaranteed minimum rate (MCR).  Sessions
+        whose fair level falls below their minimum are pinned at it and
+        the rest share what remains — the reference for MCR-aware
+        Phantom (``ER = max(f·MACR, MCR)``).
+    weights:
+        Optional session name → relative weight (default 1.0 each):
+        weighted max-min, where session s gets ``w_s`` shares at every
+        common water level — the reference for weighted Phantom
+        (``ER = w · f · MACR``).
+
+    Returns session name → rate.
+    """
+    _validate(capacities, routes)
+    if phantom_weight < 0:
+        raise ValueError(
+            f"phantom_weight must be >= 0, got {phantom_weight!r}")
+    weights = weights or {}
+    for session, weight in weights.items():
+        if session not in routes:
+            raise ValueError(f"weight given for unknown session "
+                             f"{session!r}")
+        if weight <= 0:
+            raise ValueError(
+                f"weight for {session!r} must be positive, got {weight!r}")
+    minimums = minimums or {}
+    for session, floor in minimums.items():
+        if session not in routes:
+            raise ValueError(f"minimum given for unknown session "
+                             f"{session!r}")
+        if floor < 0:
+            raise ValueError(
+                f"minimum for {session!r} must be >= 0, got {floor!r}")
+    for link, cap in capacities.items():
+        reserved = sum(minimums.get(s, 0.0)
+                       for s, path in routes.items() if link in path)
+        if reserved > cap:
+            raise ValueError(
+                f"link {link!r}: guaranteed minimums ({reserved}) exceed "
+                f"capacity ({cap})")
+
+    pinned: dict[str, float] = {}
+    remaining_caps = dict(capacities)
+    active = dict(routes)
+    while active:
+        rates = _water_fill(remaining_caps, active, phantom_weight,
+                            weights)
+        violated = [s for s in active
+                    if rates[s] < minimums.get(s, 0.0) * (1 - 1e-12)]
+        if not violated:
+            return {**pinned, **rates}
+        for s in violated:
+            floor = minimums[s]
+            pinned[s] = floor
+            for link in routes[s]:
+                remaining_caps[link] -= floor
+            del active[s]
+    return pinned
+
+
+def phantom_allocation(capacities: dict[str, float],
+                       routes: dict[str, list[str]],
+                       utilization_factor: float) -> dict[str, float]:
+    """The allocation Phantom converges to: phantom weight ``1/f``."""
+    if utilization_factor <= 0:
+        raise ValueError(
+            f"utilization_factor must be positive, "
+            f"got {utilization_factor!r}")
+    return max_min_allocation(capacities, routes,
+                              phantom_weight=1.0 / utilization_factor)

@@ -1,0 +1,76 @@
+"""The MACR filter — Phantom's only state.
+
+MACR (Maximum Allowed Cell Rate, the name following EPRCA [Rob94, Bar95])
+accumulates the measured residual bandwidth Δ by a weighted sum:
+
+    MACR := MACR + α · (Δ − MACR)
+
+with two refinements the paper describes:
+
+* **asymmetric gains** — α = α_dec when Δ < MACR (congestion is chased
+  quickly; the paper attributes Phantom's larger transient queue to this
+  "faster reaction") and α = α_inc otherwise;
+* **mean-deviation damping** — Δ oscillates even in steady state because
+  sources saw-tooth between RM cells.  Following [Jac88] the filter keeps
+  a mean-deviation estimate
+
+      ERR := Δ − MACR,   DEV := DEV + β · (|ERR| − DEV)
+
+  and scales the increase gain by how much of ERR is explained by noise:
+
+      α_inc_eff = α_inc · ERR / (ERR + dev_margin · DEV)
+
+  When the upward error is small compared to the measured variability the
+  filter barely moves (it refuses to ride the saw-tooth's peaks); when the
+  error dwarfs the noise it uses the full α_inc.  Decreases always use the
+  full α_dec — congestion must be chased.  The paper states the deviation
+  enters the computation of α_inc/α_dec; the exact formula is not in the
+  available text, so this reconstruction keeps the stated inputs and the
+  stated goal (suppressing oscillation) — the ablation bench E07
+  quantifies its effect.
+
+The filter is clamped to [0, capacity]: a negative residual (overload)
+must push MACR down but a rate below zero is meaningless, and MACR can
+never exceed the line rate.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import DEFAULT_PHANTOM_PARAMS, PhantomParams
+
+
+class MacrFilter:
+    """Constant-space estimator of the phantom session's fair share."""
+
+    def __init__(self, capacity_mbps: float,
+                 params: PhantomParams = DEFAULT_PHANTOM_PARAMS):
+        if capacity_mbps <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_mbps!r}")
+        self.capacity_mbps = capacity_mbps
+        self.params = params
+        self.macr = min(params.macr_init, capacity_mbps)
+        self.dev = 0.0
+        self.updates = 0
+
+    def update(self, residual_mbps: float) -> float:
+        """Fold one interval's residual measurement into MACR."""
+        p = self.params
+        err = residual_mbps - self.macr
+        if p.use_deviation:
+            self.dev += p.beta * (abs(err) - self.dev)
+        if err < 0:
+            self.macr += p.alpha_dec * err
+        elif err > 0:
+            damping = 1.0
+            if p.use_deviation:
+                noise = p.dev_margin * self.dev
+                damping = err / (err + noise) if err + noise > 0 else 1.0
+            self.macr += p.alpha_inc * err * damping
+        self.macr = min(max(self.macr, 0.0), self.capacity_mbps)
+        self.updates += 1
+        return self.macr
+
+    def state_vars(self) -> dict[str, float]:
+        """Scalar state — two variables, independent of session count."""
+        return {"macr": self.macr, "dev": self.dev}

@@ -1,0 +1,145 @@
+"""Analytic discrete-time model of the Phantom control loop.
+
+The simulator answers "what happens"; this model answers "why".  It
+iterates the difference equations of Section 2's loop at the
+measurement-interval timescale:
+
+    Δ_k     = C − Σ_i r_i(k)                    (residual)
+    MACR_k+1 = filter(MACR_k, Δ_k)              (same MacrFilter)
+    r_i(k+1) = clip(min(f·MACR_k+1, r_i(k) + AIR·Nrm·m_i), PCR)
+
+where ``m_i`` is the number of backward RM cells session i sees per
+interval (its rate over Nrm, at least the Trm floor).  Sources obey the
+grant immediately on the way down (the ER min applies per RM cell) and
+climb additively on the way up, exactly like
+:class:`repro.atm.AbrSource` at interval granularity.
+
+The model ignores propagation delay and queueing (the simulator's job);
+its value is predicting equilibria, convergence times and the stability
+boundary α·(n·f+1) < 2 in microseconds instead of seconds — verified
+against the full simulation in the test suite and used to sanity-check
+parameter choices before running experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.atm.params import AbrParams, PAPER_PARAMS
+from repro.core.macr import MacrFilter
+from repro.core.params import DEFAULT_PHANTOM_PARAMS, PhantomParams
+
+
+@dataclass
+class LoopTrace:
+    """Model output: one entry per measurement interval."""
+
+    times: list[float] = field(default_factory=list)
+    macr: list[float] = field(default_factory=list)
+    rates: list[list[float]] = field(default_factory=list)
+    residual: list[float] = field(default_factory=list)
+
+    def final_rates(self) -> list[float]:
+        return self.rates[-1]
+
+    def settle_time(self, tolerance: float = 0.05) -> float:
+        """First time after which every rate stays within ``tolerance``
+        (relative) of its final value; inf if it never settles.
+
+        The band must be held through at least the last 10% of the trace
+        — the final sample alone always matches itself, which would make
+        a limit cycle look "settled" at the last instant.
+        """
+        finals = self.final_rates()
+        entered = None
+        for t, rates in zip(self.times, self.rates):
+            ok = all(abs(r - f) <= tolerance * max(f, 1e-12)
+                     for r, f in zip(rates, finals))
+            if ok and entered is None:
+                entered = t
+            elif not ok:
+                entered = None
+        if entered is None or entered > self.times[-1] * 0.9:
+            return float("inf")
+        return entered
+
+
+class PhantomLoopModel:
+    """Interval-granularity iteration of the Phantom/source loop."""
+
+    def __init__(self, capacity_mbps: float,
+                 phantom: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                 sources: AbrParams = PAPER_PARAMS,
+                 weights: list[float] | None = None):
+        if capacity_mbps <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_mbps!r}")
+        self.capacity = capacity_mbps
+        self.phantom = phantom
+        self.sources = sources
+        self.weights = weights
+
+    def grant(self, macr: float, weight: float = 1.0) -> float:
+        floor = self.phantom.grant_floor_fraction * self.capacity
+        return weight * max(self.phantom.utilization_factor * macr, floor)
+
+    def run(self, n_sessions: int, intervals: int,
+            start_rates: list[float] | None = None) -> LoopTrace:
+        """Iterate the loop for ``intervals`` steps of Δt."""
+        if n_sessions < 1:
+            raise ValueError(f"need >= 1 session, got {n_sessions!r}")
+        if intervals < 1:
+            raise ValueError(f"need >= 1 interval, got {intervals!r}")
+        weights = self.weights or [1.0] * n_sessions
+        if len(weights) != n_sessions:
+            raise ValueError(
+                f"{len(weights)} weights for {n_sessions} sessions")
+        src = self.sources
+        dt = self.phantom.interval
+        rates = list(start_rates
+                     if start_rates is not None
+                     else [src.icr] * n_sessions)
+        if len(rates) != n_sessions:
+            raise ValueError(
+                f"{len(rates)} start rates for {n_sessions} sessions")
+
+        filt = MacrFilter(self.capacity, self.phantom)
+        trace = LoopTrace()
+        for k in range(intervals):
+            residual = self.capacity - sum(rates)
+            macr = filt.update(residual)
+            new_rates = []
+            for rate, weight in zip(rates, weights):
+                # backward RM cells per interval: one per Nrm cells sent,
+                # at least the Trm backstop
+                rm_per_interval = max(
+                    rate * 1e6 / 424 / src.nrm * dt, dt / src.trm)
+                climb = rate + src.air_nrm * rm_per_interval
+                granted = self.grant(macr, weight)
+                new_rate = min(climb, granted, src.pcr)
+                new_rates.append(max(new_rate, src.floor_mbps))
+            rates = new_rates
+            trace.times.append((k + 1) * dt)
+            trace.macr.append(macr)
+            trace.rates.append(list(rates))
+            trace.residual.append(residual)
+        return trace
+
+    def equilibrium_rate(self, n_sessions: int) -> float:
+        """Closed-form fixed point f·C/(n·f+1) (unit weights)."""
+        f = self.phantom.utilization_factor
+        return f * self.capacity / (n_sessions * f + 1)
+
+    def is_stable(self, n_sessions: int) -> bool:
+        """Linearised stability test: α_inc·(n·f + 1) < 2.
+
+        Only the climb gain matters for whether the loop creeps onto the
+        fixed point: an α_dec overshoot is a bounded, one-interval
+        excursion (rates snap to the lowered grant and the loop re-enters
+        from below), while an unstable climb never stops limit-cycling —
+        the bias benchmark E19 measures.  The deviation damping only ever
+        *shrinks* the effective α_inc, so the test is conservative.
+        """
+        f = self.phantom.utilization_factor
+        gain = n_sessions * f + 1
+        return self.phantom.alpha_inc * gain < 2

@@ -1,0 +1,74 @@
+"""Phantom algorithm parameters.
+
+The paper states the *structure* of the algorithm precisely — fixed
+measurement intervals of length Δt accumulated into MACR by a weighted
+sum, separate weights for increase and decrease, and a Jacobson-style
+mean-deviation correction — but the available text does not pin the
+numeric constants.  The defaults below realise the paper's qualitative
+claims (fast convergence, moderate queues) at the paper's 150 Mb/s link
+scale and are swept in the ablation benchmarks (E19/E20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PhantomParams:
+    """Knobs of the Phantom port algorithm."""
+
+    #: Δt — length of the residual-bandwidth measurement interval (s).
+    interval: float = 1e-3
+    #: The multiplier applied to MACR when granting rates.  The paper's
+    #: binary-mode figures use 5; equilibrium utilisation with n greedy
+    #: sessions is n·f/(n·f + 1).
+    utilization_factor: float = 5.0
+    #: Filter gain when the measured residual exceeds MACR.
+    alpha_inc: float = 1.0 / 16.0
+    #: Filter gain when the measured residual is below MACR (congestion:
+    #: react faster, as the paper notes Phantom does).
+    alpha_dec: float = 1.0 / 4.0
+    #: Gain of the mean-deviation estimator (Jacobson's trick; the paper
+    #: approximates the standard deviation of Δ by the mean deviation).
+    beta: float = 1.0 / 4.0
+    #: How many deviations below the measured residual the filter aims
+    #: when increasing — the oscillation damper.
+    dev_margin: float = 1.0
+    #: Disable to get the raw two-gain filter (ablation E07).
+    use_deviation: bool = True
+    #: Initial MACR value in Mb/s (the sources' ICR is a natural choice,
+    #: mirroring EPRCA's initialisation).
+    macr_init: float = 8.5
+    #: The grant f·MACR is never taken below this fraction of the line
+    #: rate.  A grant near zero starves the sources' in-rate RM stream
+    #: (next RM only after Nrm cells) and stalls the control loop until
+    #: the Trm backstop; 5% of the line keeps feedback alive through
+    #: overload transients (on/off arrivals) at negligible queue cost.
+    grant_floor_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval!r}")
+        if self.utilization_factor <= 0:
+            raise ValueError(
+                f"utilization_factor must be positive, "
+                f"got {self.utilization_factor!r}")
+        for name in ("alpha_inc", "alpha_dec", "beta"):
+            value = getattr(self, name)
+            if not 0 < value <= 1:
+                raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+        if self.dev_margin < 0:
+            raise ValueError(
+                f"dev_margin must be >= 0, got {self.dev_margin!r}")
+        if self.macr_init < 0:
+            raise ValueError(
+                f"macr_init must be >= 0, got {self.macr_init!r}")
+        if not 0 <= self.grant_floor_fraction < 1:
+            raise ValueError(
+                f"grant_floor_fraction must be in [0, 1), "
+                f"got {self.grant_floor_fraction!r}")
+
+
+#: Defaults used throughout the experiments.
+DEFAULT_PHANTOM_PARAMS = PhantomParams()

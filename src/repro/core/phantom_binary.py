@@ -1,0 +1,51 @@
+"""Binary-feedback Phantom (no explicit-rate field needed).
+
+The selective principle of Section 4 applied with ATM's binary handles:
+instead of writing ``f · MACR`` into the ER field, the switch *selectively*
+flags only the sessions whose current rate exceeds the grant.  The
+session's rate is read from the CCR field the source wrote into the RM
+cell — so the scheme stays constant-space, no per-VC table.
+
+Two levels of feedback, mirroring the CI/NI pair of TM 4.0 (and the
+DECbit heritage [RJ90] the paper cites):
+
+* ``CCR > f · MACR``       → set **CI** (the source multiplicatively
+  decreases);
+* ``CCR > ni_fraction · f · MACR`` → set **NI** (the source holds; this
+  softens the saw-tooth near the operating point — benchmark E06
+  contrasts it with the plain CI-only variant of E05).
+
+Unlike queue-threshold binary schemes (EPRCA in its congested state,
+CAPC's CI), the *selectivity* means a session under its fair share is
+never beaten down, no matter how many congested switches it crosses —
+the paper's answer to the beat-down problem [BdJ94].
+"""
+
+from __future__ import annotations
+
+from repro.atm.cell import RMCell
+from repro.atm.port import PortAlgorithm
+from repro.core.phantom import PhantomAlgorithm
+from repro.core.params import DEFAULT_PHANTOM_PARAMS, PhantomParams
+
+
+class BinaryPhantomAlgorithm(PhantomAlgorithm):
+    """Phantom with CI/NI marking instead of ER stamping."""
+
+    name = "phantom-binary"
+
+    def __init__(self, params: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                 use_ni: bool = False, ni_fraction: float = 0.8):
+        if not 0 < ni_fraction <= 1:
+            raise ValueError(
+                f"ni_fraction must be in (0, 1], got {ni_fraction!r}")
+        super().__init__(params)
+        self.use_ni = use_ni
+        self.ni_fraction = ni_fraction
+
+    def on_backward_rm(self, rm: RMCell) -> None:
+        limit = self.granted_rate
+        if rm.ccr > limit:
+            rm.ci = True
+        elif self.use_ni and rm.ccr > self.ni_fraction * limit:
+            rm.ni = True

@@ -1,0 +1,58 @@
+"""Residual-bandwidth measurement.
+
+The phantom session's "rate" is the bandwidth the real sessions leave
+unused.  Per the paper, the residual Δ is measured over fixed intervals of
+length Δt.  We measure it as
+
+    Δ = C − (offered load during the interval)
+
+where the offered load counts *arrivals* at the port (including cells that
+a finite buffer drops).  Measuring arrivals rather than idle line time
+makes Δ negative under overload, which is exactly the signal that drives
+MACR — and hence the granted rates — down; measuring idle time would
+saturate at zero and lose the overload magnitude.  This matches Phantom's
+description as using "the absolute amount of unused bandwidth" (compare
+CAPC, which uses the *fraction*).
+"""
+
+from __future__ import annotations
+
+from repro.sim import units
+
+
+class ResidualMeter:
+    """Per-interval offered-load counter for one port.
+
+    The owner calls :meth:`count` for every arriving cell and
+    :meth:`close_interval` at each Δt boundary, receiving the residual
+    bandwidth in Mb/s.
+    """
+
+    def __init__(self, capacity_mbps: float, interval: float):
+        if capacity_mbps <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_mbps!r}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.capacity_mbps = capacity_mbps
+        self.interval = interval
+        self.cells_this_interval = 0
+        #: Completed intervals so far.
+        self.intervals = 0
+
+    def count(self, cells: int = 1) -> None:
+        """Record ``cells`` arrivals in the current interval."""
+        self.cells_this_interval += cells
+
+    @property
+    def offered_mbps(self) -> float:
+        """Offered load accumulated so far in the open interval (Mb/s)."""
+        return units.cells_per_sec_to_mbps(
+            self.cells_this_interval / self.interval)
+
+    def close_interval(self) -> float:
+        """End the interval; return residual Δ = C − offered (Mb/s)."""
+        residual = self.capacity_mbps - self.offered_mbps
+        self.cells_this_interval = 0
+        self.intervals += 1
+        return residual

@@ -1,0 +1,173 @@
+"""ATM scenario builders — the configurations of the paper's Sections 2
+and 5.
+
+Every builder wires an :class:`repro.atm.AtmNetwork` with a caller-chosen
+switch algorithm (Phantom or a baseline), runs it, and returns an
+:class:`repro.scenarios.results.AtmRun`.  The same configurations thereby
+serve Phantom figures and the Section-5 comparison figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.atm import AbrParams, AtmNetwork, PAPER_PARAMS
+from repro.atm.port import PortAlgorithm
+from repro.scenarios.results import AtmRun
+from repro.scenarios.workloads import OnOffDriver
+from repro.sim import RngStreams
+
+AlgorithmFactory = Callable[[], PortAlgorithm]
+
+
+def staggered_start(algorithm_factory: AlgorithmFactory,
+                    n_sessions: int = 2,
+                    stagger: float = 0.03,
+                    duration: float = 0.25,
+                    link_rate: float = 150.0,
+                    params: AbrParams = PAPER_PARAMS,
+                    run: bool = True) -> AtmRun:
+    """n greedy sessions joining one bottleneck ``stagger`` seconds apart.
+
+    The paper's introductory configuration (Fig. 2-3): convergence speed
+    and fairness as sessions arrive.
+    """
+    if n_sessions < 1:
+        raise ValueError(f"need >= 1 session, got {n_sessions!r}")
+    net = AtmNetwork(algorithm_factory=algorithm_factory,
+                     link_rate=link_rate)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    for i in range(n_sessions):
+        net.add_session(f"s{i}", route=["S1", "S2"], start=i * stagger,
+                        params=params)
+    result = AtmRun(net=net, bottleneck=net.trunk("S1", "S2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def rtt_spread(algorithm_factory: AlgorithmFactory,
+               access_delays: tuple[float, ...] = (1e-5, 5e-4, 2e-3),
+               duration: float = 0.3,
+               link_rate: float = 150.0,
+               params: AbrParams = PAPER_PARAMS,
+               run: bool = True) -> AtmRun:
+    """Sessions with vastly different round-trip times share a link.
+
+    Tests the paper's claim that Phantom's allocation is RTT-independent
+    (every session is granted the same f·MACR), where the EPRCA-family
+    thresholds produce RTT-dependent shares [CGBS94].
+    """
+    net = AtmNetwork(algorithm_factory=algorithm_factory,
+                     link_rate=link_rate)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    for i, delay in enumerate(access_delays):
+        net.add_session(f"rtt{i}", route=["S1", "S2"],
+                        access_delay=delay, params=params)
+    result = AtmRun(net=net, bottleneck=net.trunk("S1", "S2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def on_off(algorithm_factory: AlgorithmFactory,
+           greedy: int = 1,
+           bursty: int = 2,
+           on_time: float = 0.02,
+           off_time: float = 0.02,
+           duration: float = 0.4,
+           link_rate: float = 150.0,
+           params: AbrParams = PAPER_PARAMS,
+           seed: int | None = 7,
+           run: bool = True) -> AtmRun:
+    """Greedy sessions sharing a link with on/off sessions (Fig. 4/22).
+
+    ``seed=None`` gives deterministic fixed periods; otherwise on/off
+    durations are exponential with the given means.
+    """
+    net = AtmNetwork(algorithm_factory=algorithm_factory,
+                     link_rate=link_rate)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    streams = RngStreams(seed) if seed is not None else None
+    for i in range(greedy):
+        net.add_session(f"greedy{i}", route=["S1", "S2"], params=params)
+    for i in range(bursty):
+        session = net.add_session(f"onoff{i}", route=["S1", "S2"],
+                                  params=params)
+        rng = streams.stream(f"onoff{i}") if streams is not None else None
+        OnOffDriver(net.sim, session.source, on_time, off_time, rng=rng)
+    result = AtmRun(net=net, bottleneck=net.trunk("S1", "S2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def parking_lot(algorithm_factory: AlgorithmFactory,
+                hops: int = 3,
+                duration: float = 0.3,
+                link_rate: float = 150.0,
+                params: AbrParams = PAPER_PARAMS,
+                run: bool = True) -> AtmRun:
+    """The multi-hop "beat-down" configuration.
+
+    One long session crosses all ``hops`` trunks; each trunk also carries
+    one single-hop cross session.  Binary/threshold schemes beat the long
+    session down [BdJ94]; Phantom should hand it the same grant as
+    everyone else at the true bottleneck.
+    """
+    if hops < 2:
+        raise ValueError(f"need >= 2 hops, got {hops!r}")
+    net = AtmNetwork(algorithm_factory=algorithm_factory,
+                     link_rate=link_rate)
+    names = [f"S{i}" for i in range(1, hops + 2)]
+    for name in names:
+        net.add_switch(name)
+    for a, b in zip(names, names[1:]):
+        net.connect(a, b)
+    net.add_session("long", route=names, params=params)
+    for i, (a, b) in enumerate(zip(names, names[1:])):
+        net.add_session(f"cross{i}", route=[a, b], params=params)
+    result = AtmRun(net=net, bottleneck=net.trunk(names[0], names[1]),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def transient(algorithm_factory: AlgorithmFactory,
+              duration: float = 0.4,
+              join_at: float = 0.1,
+              leave_at: float = 0.25,
+              link_rate: float = 150.0,
+              params: AbrParams = PAPER_PARAMS,
+              run: bool = True) -> AtmRun:
+    """A base session runs throughout; a second joins, then departs.
+
+    Measures reclaim time: how quickly the survivor's rate returns to the
+    single-session share after the departure.
+    """
+    if not 0 < join_at < leave_at < duration:
+        raise ValueError("need 0 < join_at < leave_at < duration")
+    net = AtmNetwork(algorithm_factory=algorithm_factory,
+                     link_rate=link_rate)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    net.add_session("base", route=["S1", "S2"], params=params)
+    visitor = net.add_session("visitor", route=["S1", "S2"],
+                              start=join_at, params=params)
+    net.sim.schedule_at(leave_at, visitor.source.set_active, False)
+    result = AtmRun(net=net, bottleneck=net.trunk("S1", "S2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result

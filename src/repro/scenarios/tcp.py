@@ -1,0 +1,237 @@
+"""TCP scenario builders — the configurations of the paper's Section 4.3.
+
+The router-side control loop runs on coarser timescales than the ATM one
+(TCP's CR stamp is an acked-payload average), so the MACR parameters used
+for routers differ from the cell-level defaults; the calibrated values
+live in :data:`TCP_PHANTOM_PARAMS` and are shared by every router
+mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import PhantomParams
+from repro.scenarios.results import TcpRun
+from repro.tcp import (DropTail, RenoParams, SelectiveDiscard,
+                       SelectiveEfci, SelectiveQuench, SelectiveRed,
+                       TcpNetwork, TcpRenoSource, TcpTahoeSource,
+                       TcpVegasSource, VegasParams)
+from repro.tcp.router import QueuePolicy
+
+PolicyFactory = Callable[[], QueuePolicy]
+
+#: MACR parameters calibrated for router timescales: the measurement
+#: interval matches the sources' CR estimation period, and the decrease
+#: gain is halved relative to the ATM loop because TCP windows need a
+#: couple of RTTs to obey a lowered grant.  The grant floor exists to
+#: keep the ATM RM feedback loop alive and is disabled here: a TCP
+#: source that just throttled stamps CR ≈ 0 and is conformant again, so
+#: the loop cannot starve, while a floored grant under deep overload
+#: concentrates drop pressure unfairly on whichever flow ramps first.
+TCP_PHANTOM_PARAMS = PhantomParams(interval=0.05, alpha_inc=0.25,
+                                   alpha_dec=0.125,
+                                   grant_floor_fraction=0.0)
+
+#: Reno configuration used in all Section-4 scenarios: the paper's
+#: 512-byte packets with a 20 ms CR measurement interval.
+TCP_RENO_PARAMS = RenoParams(rate_interval=0.02)
+
+
+def drop_tail_policy(buffer_packets: int = 100) -> PolicyFactory:
+    return lambda: DropTail(buffer_packets)
+
+
+def selective_discard_policy(buffer_packets: int = 100,
+                             drop_gap: float = 0.04,
+                             params: PhantomParams = TCP_PHANTOM_PARAMS,
+                             ) -> PolicyFactory:
+    return lambda: SelectiveDiscard(buffer_packets=buffer_packets,
+                                    params=params, drop_gap=drop_gap)
+
+
+def selective_quench_policy(buffer_packets: int = 100,
+                            min_gap: float = 0.04,
+                            params: PhantomParams = TCP_PHANTOM_PARAMS,
+                            ) -> PolicyFactory:
+    return lambda: SelectiveQuench(buffer_packets=buffer_packets,
+                                   params=params, min_gap=min_gap)
+
+
+def selective_efci_policy(buffer_packets: int = 400,
+                          params: PhantomParams = TCP_PHANTOM_PARAMS,
+                          ) -> PolicyFactory:
+    return lambda: SelectiveEfci(buffer_packets=buffer_packets,
+                                 params=params)
+
+
+def selective_red_policy(buffer_packets: int = 100,
+                         params: PhantomParams = TCP_PHANTOM_PARAMS,
+                         **red_kwargs) -> PolicyFactory:
+    return lambda: SelectiveRed(buffer_packets=buffer_packets,
+                                params=params, **red_kwargs)
+
+
+def rtt_fairness(policy_factory: PolicyFactory,
+                 access_delays: tuple[float, ...] = (1e-3, 4e-3),
+                 duration: float = 30.0,
+                 trunk_rate: float = 10.0,
+                 params: RenoParams = TCP_RENO_PARAMS,
+                 run: bool = True) -> TcpRun:
+    """Flows with different RTTs share one bottleneck (Fig. 14).
+
+    Drop-tail starves the long-RTT flow; Selective Discard hands both the
+    same grant.
+    """
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net.add_router("R1")
+    net.add_router("R2")
+    net.connect("R1", "R2")
+    for i, delay in enumerate(access_delays):
+        net.add_flow(f"rtt{i}", route=["R1", "R2"],
+                     access_delay=delay, params=params)
+    result = TcpRun(net=net, bottleneck=net.trunk("R1", "R2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def tcp_parking_lot(policy_factory: PolicyFactory,
+                    hops: int = 3,
+                    duration: float = 30.0,
+                    trunk_rate: float = 10.0,
+                    params: RenoParams = TCP_RENO_PARAMS,
+                    run: bool = True) -> TcpRun:
+    """Multi-router beat-down test (Fig. 17): one long flow crosses all
+    routers, one cross flow per trunk."""
+    if hops < 2:
+        raise ValueError(f"need >= 2 hops, got {hops!r}")
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    names = [f"R{i}" for i in range(1, hops + 2)]
+    for name in names:
+        net.add_router(name)
+    for a, b in zip(names, names[1:]):
+        net.connect(a, b)
+    net.add_flow("long", route=names, params=params)
+    for i, (a, b) in enumerate(zip(names, names[1:])):
+        net.add_flow(f"cross{i}", route=[a, b], params=params)
+    result = TcpRun(net=net, bottleneck=net.trunk(names[0], names[1]),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def vegas_thresholds(policy_factory: PolicyFactory,
+                     hungry: tuple[float, float] = (8.0, 10.0),
+                     modest: tuple[float, float] = (1.0, 2.0),
+                     duration: float = 30.0,
+                     trunk_rate: float = 10.0,
+                     run: bool = True) -> TcpRun:
+    """The paper's Vegas sensitivity example (§4 discussion of [BP95]).
+
+    Two Vegas flows whose delay thresholds don't overlap — the lower
+    threshold α of one exceeds the upper threshold β of the other — so
+    Vegas itself has "no mechanism that would balance them": the hungry
+    flow parks α..β packets in the queue and the modest flow sees an
+    inflated RTT and retreats.  A Phantom router mechanism equalises
+    them by rate, independent of source thresholds.
+    """
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net.add_router("R1")
+    net.add_router("R2")
+    net.connect("R1", "R2")
+    for name, (alpha, beta) in (("hungry", hungry), ("modest", modest)):
+        net.add_flow(name, route=["R1", "R2"], access_delay=2e-3,
+                     params=VegasParams(rate_interval=0.02,
+                                        vegas_alpha=alpha,
+                                        vegas_beta=beta),
+                     source_class=TcpVegasSource)
+    result = TcpRun(net=net, bottleneck=net.trunk("R1", "R2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def mixed_stacks(policy_factory: PolicyFactory,
+                 duration: float = 30.0,
+                 trunk_rate: float = 10.0,
+                 run: bool = True) -> TcpRun:
+    """Reno, Tahoe and Vegas sharing a bottleneck.
+
+    The abstract's interoperability claim: the router-side mechanism
+    "easily inter-operates with current TCP flow control mechanisms",
+    equalising flows whatever source stack they run.
+    """
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net.add_router("R1")
+    net.add_router("R2")
+    net.connect("R1", "R2")
+    stacks = {"reno": TcpRenoSource, "tahoe": TcpTahoeSource,
+              "vegas": TcpVegasSource}
+    for name, source_class in stacks.items():
+        net.add_flow(name, route=["R1", "R2"], access_delay=2e-3,
+                     params=TCP_RENO_PARAMS, source_class=source_class)
+    result = TcpRun(net=net, bottleneck=net.trunk("R1", "R2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def two_way(policy_factory: PolicyFactory,
+            flows_per_direction: int = 2,
+            duration: float = 30.0,
+            trunk_rate: float = 10.0,
+            run: bool = True) -> TcpRun:
+    """Data in both directions: each trunk queue carries one direction's
+    data *and* the other direction's ACKs.
+
+    The classic stressor for router mechanisms — ACKs compressed behind
+    data bursts make the reverse flows bursty.  The Phantom policies see
+    ACK bytes in their residual measurement and data packets in their
+    conformance checks, so the mechanism must keep working.
+    """
+    if flows_per_direction < 1:
+        raise ValueError(
+            f"need >= 1 flow per direction, got {flows_per_direction!r}")
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net.add_router("R1")
+    net.add_router("R2")
+    net.connect("R1", "R2")
+    for i in range(flows_per_direction):
+        net.add_flow(f"east{i}", route=["R1", "R2"], access_delay=2e-3,
+                     params=TCP_RENO_PARAMS)
+        net.add_flow(f"west{i}", route=["R2", "R1"], access_delay=2e-3,
+                     params=TCP_RENO_PARAMS)
+    result = TcpRun(net=net, bottleneck=net.trunk("R1", "R2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def many_flows(policy_factory: PolicyFactory,
+               n_flows: int = 4,
+               duration: float = 30.0,
+               trunk_rate: float = 10.0,
+               access_delay: float = 2e-3,
+               params: RenoParams = TCP_RENO_PARAMS,
+               run: bool = True) -> TcpRun:
+    """n equal flows through one bottleneck — goodput split and queue."""
+    if n_flows < 1:
+        raise ValueError(f"need >= 1 flow, got {n_flows!r}")
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net.add_router("R1")
+    net.add_router("R2")
+    net.connect("R1", "R2")
+    for i in range(n_flows):
+        net.add_flow(f"f{i}", route=["R1", "R2"],
+                     access_delay=access_delay, params=params)
+    result = TcpRun(net=net, bottleneck=net.trunk("R1", "R2"),
+                    duration=duration)
+    if run:
+        net.run(until=duration)
+    return result

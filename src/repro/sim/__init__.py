@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate that replaces BONeS, the commercial
+block-oriented simulator the paper used.  It is deliberately generic: the
+kernel knows nothing about cells, packets, or flow control.  Higher layers
+(:mod:`repro.atm`, :mod:`repro.tcp`) build network components out of the
+primitives here.
+
+Contents
+--------
+:class:`Simulator`
+    The event loop: a time-ordered heap of callbacks with deterministic
+    tie-breaking.
+:class:`Event`
+    Handle returned by :meth:`Simulator.schedule`, usable to cancel.
+:class:`PeriodicTimer`
+    Fixed-interval callback driver (used for measurement intervals).
+:class:`Probe`
+    Time-series recorder for simulation output.
+:class:`RngStreams`
+    Named, independently seeded random streams for reproducible workloads.
+:mod:`repro.sim.units`
+    ATM/TCP unit helpers (cells, Mb/s, cell times).
+"""
+
+from repro.sim.engine import Event, Simulator, SimulationError
+from repro.sim.timers import PeriodicTimer
+from repro.sim.probe import Probe, StepProbe
+from repro.sim.rng import RngStreams
+from repro.sim import units
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "PeriodicTimer",
+    "Probe",
+    "StepProbe",
+    "RngStreams",
+    "units",
+]

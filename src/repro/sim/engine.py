@@ -1,0 +1,162 @@
+"""Event-driven simulation engine.
+
+The engine is a classic calendar queue: callbacks are scheduled at absolute
+simulation times and executed in time order.  Ties are broken by insertion
+order, which makes every run fully deterministic — a property the test
+suite and the benchmark harness rely on.
+
+Times are floats in **seconds**.  The engine never interprets them; the
+unit convention lives in :mod:`repro.sim.units`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, bad run bounds)."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Instances are created by :meth:`Simulator.schedule`; user code only
+    keeps them to :meth:`cancel` or to inspect :attr:`time`.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled", "_seq")
+
+    def __init__(self, time: float, seq: int,
+                 fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._seq = seq
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a harmless no-op, which keeps timer-management code simple.
+        """
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.9f} {name} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, hello)        # relative delay
+        sim.run(until=10.0)
+
+    The loop pops the earliest event, advances :attr:`now` to its
+    timestamp, and invokes the callback.  Callbacks schedule further
+    events; the simulation ends when the heap drains, ``until`` is
+    reached, or :meth:`stop` is called.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._running = False
+        self._stopped = False
+        #: Number of events executed so far (observability/tests).
+        self.executed_events: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self.now!r}")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, (time, event._seq, event))
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.executed_events += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or stop().
+
+        ``until`` is inclusive: events stamped exactly ``until`` still run,
+        and :attr:`now` is left at ``until`` when the bound is what ended
+        the run (so probe series have a well-defined horizon).
+        ``max_events`` is a safety valve for tests.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"until={until!r} is in the past")
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._heap and not self._stopped:
+                # drop cancelled events before consulting the bound —
+                # otherwise a dead event at the head lets step() run a
+                # live event that lies beyond `until`
+                while self._heap and self._heap[0][2].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0][0] > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and not self._stopped and (
+                    not self._heap or self._heap[0][0] > until):
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """End the current :meth:`run` after the executing event returns."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Simulator now={self.now:.6f} "
+                f"pending={self.pending_events}>")

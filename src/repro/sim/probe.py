@@ -1,0 +1,123 @@
+"""Time-series probes.
+
+Every figure in the paper is a time series — queue length, MACR, per-session
+allowed rate.  Components expose their state through :class:`Probe`
+(irregularly sampled) or :class:`StepProbe` (piecewise-constant signals such
+as queue length), and the analysis layer turns the recorded series into the
+tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Iterator
+
+
+class Probe:
+    """Append-only (time, value) series.
+
+    Samples must arrive in non-decreasing time order, which the
+    deterministic engine guarantees for any single component.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"probe {self.name!r}: time went backwards "
+                f"({time} < {self.times[-1]})")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> float:
+        """Most recent value (raises IndexError when empty)."""
+        return self.values[-1]
+
+    # ------------------------------------------------------------------
+    # queries used by the analysis layer
+    # ------------------------------------------------------------------
+    def window(self, start: float, end: float) -> "Probe":
+        """Sub-series with start <= t <= end (copy)."""
+        out = Probe(self.name)
+        for t, v in self:
+            if start <= t <= end:
+                out.record(t, v)
+        return out
+
+    _NO_DEFAULT = object()
+
+    def value_at(self, time: float,
+                 default: float | object = _NO_DEFAULT) -> float:
+        """Sample-and-hold interpolation at ``time``.
+
+        Returns the last recorded value at or before ``time``.  With no
+        sample that early, returns ``default`` when given, else raises
+        ValueError.
+        """
+        idx = bisect_right(self.times, time) - 1
+        if idx < 0:
+            if default is not Probe._NO_DEFAULT:
+                return default  # type: ignore[return-value]
+            raise ValueError(
+                f"probe {self.name!r} has no sample at or before {time}")
+        return self.values[idx]
+
+    def resample(self, times: Iterable[float],
+                 default: float | object = _NO_DEFAULT) -> list[float]:
+        """Sample-and-hold values at each of ``times``."""
+        return [self.value_at(t, default) for t in times]
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def min(self) -> float:
+        return min(self.values)
+
+    def mean(self) -> float:
+        """Plain arithmetic mean of the samples (not time-weighted)."""
+        return sum(self.values) / len(self.values)
+
+    def time_average(self, end: float | None = None) -> float:
+        """Time-weighted mean, treating the series as sample-and-hold.
+
+        ``end`` extends the final sample's hold period; it defaults to the
+        last sample time (in which case the final sample gets no weight).
+        """
+        if not self.times:
+            raise ValueError(f"probe {self.name!r} is empty")
+        horizon = self.times[-1] if end is None else end
+        if horizon < self.times[-1]:
+            return self.window(self.times[0], horizon).time_average(horizon)
+        total = 0.0
+        for i, (t, v) in enumerate(self):
+            t_next = self.times[i + 1] if i + 1 < len(self) else horizon
+            total += v * (t_next - t)
+        span = horizon - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        return total / span
+
+
+class StepProbe(Probe):
+    """Probe for piecewise-constant signals, with redundancy suppression.
+
+    Queue lengths change on every cell; recording each arrival *and* each
+    non-change would bloat memory.  ``StepProbe`` drops samples equal to
+    the previous value, preserving sample-and-hold semantics exactly.
+    """
+
+    def record(self, time: float, value: float) -> None:
+        if self.values and self.values[-1] == value:
+            return
+        super().record(time, value)

@@ -1,0 +1,34 @@
+"""Named random streams.
+
+Stochastic workloads (the on/off sources of Fig. 4 / Fig. 22) need
+randomness that is (a) reproducible run-to-run and (b) independent between
+components, so that adding a probe or a session does not perturb another
+session's sample path.  :class:`RngStreams` hands out one
+:class:`random.Random` per name, each seeded from a master seed and the
+name, so streams are stable regardless of creation order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngStreams:
+    """Factory of independent, name-addressed random generators."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the generator for ``name``, creating it on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode()).digest()
+            self._streams[name] = random.Random(
+                int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,63 @@
+"""Timer utilities on top of the raw engine.
+
+The flow-control algorithms in this repository are driven by *measurement
+intervals*: every ``interval`` seconds a port closes its books, updates
+MACR, and opens a new interval.  :class:`PeriodicTimer` packages that
+pattern with clean start/stop semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicTimer:
+    """Invoke a callback every ``interval`` seconds.
+
+    The callback receives the timer instance, so handlers can read
+    :attr:`ticks` or call :meth:`stop` from inside.  Drift-free: tick *k*
+    fires exactly at ``start_time + k * interval``.
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[["PeriodicTimer"], Any]):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.ticks = 0
+        self._event: Event | None = None
+        self._origin = 0.0
+        self._fires_since_start = 0
+
+    @property
+    def running(self) -> bool:
+        return self._event is not None
+
+    def start(self, delay: float | None = None) -> None:
+        """Arm the timer; first tick after ``delay`` (default: interval)."""
+        if self.running:
+            raise RuntimeError("timer already running")
+        first = self.interval if delay is None else delay
+        self._origin = self.sim.now + first
+        self._fires_since_start = 0
+        self._event = self.sim.schedule(first, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer.  Safe to call when already stopped."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self.ticks += 1
+        self._fires_since_start += 1
+        # Re-arm before the callback so the callback may stop() us.
+        # Since-start fire k happens at origin + (k - 1) * interval,
+        # drift-free even across stop()/start() cycles.
+        next_time = self._origin + self._fires_since_start * self.interval
+        self._event = self.sim.schedule_at(next_time, self._fire)
+        self.callback(self)

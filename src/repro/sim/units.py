@@ -1,0 +1,59 @@
+"""Unit conventions and conversions.
+
+Canonical units across the repository:
+
+* **time** — seconds (floats);
+* **rates** — megabits per second (Mb/s) at every public API, matching how
+  the paper states parameters (``PCR = 150 Mb/s``, ``ICR = 8.5 Mb/s``);
+* **ATM cells** — 53 bytes on the wire, 48 bytes of payload;
+* **queue lengths** — cells (ATM) or packets (TCP), as in the paper's
+  figures.
+
+The helpers below are trivial on purpose: keeping every conversion in one
+audited place avoids the factor-of-8/53-vs-48 class of bugs.
+"""
+
+from __future__ import annotations
+
+#: Bytes in an ATM cell on the wire.
+CELL_BYTES = 53
+#: Payload bytes carried by one ATM cell (AAL5 before overhead).
+CELL_PAYLOAD_BYTES = 48
+#: Bits transmitted per cell.
+CELL_BITS = CELL_BYTES * 8  # 424
+
+#: The paper's link rate (ATM Forum OC-3 payload rate, rounded as in the
+#: paper): 150 Mb/s.
+DEFAULT_LINK_RATE_MBPS = 150.0
+
+#: TCR, the ABR trickle rate: 10 cells/s = 4.24 Kb/s.
+TCR_CELLS_PER_SEC = 10.0
+
+
+def mbps_to_cells_per_sec(rate_mbps: float) -> float:
+    """Convert a rate in Mb/s to ATM cells per second."""
+    return rate_mbps * 1e6 / CELL_BITS
+
+
+def cells_per_sec_to_mbps(rate_cps: float) -> float:
+    """Convert ATM cells per second to Mb/s."""
+    return rate_cps * CELL_BITS / 1e6
+
+
+def cell_time(rate_mbps: float) -> float:
+    """Seconds needed to emit one cell at ``rate_mbps``."""
+    if rate_mbps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_mbps!r}")
+    return CELL_BITS / (rate_mbps * 1e6)
+
+
+def packet_time(size_bytes: int, rate_mbps: float) -> float:
+    """Seconds needed to emit a ``size_bytes`` packet at ``rate_mbps``."""
+    if rate_mbps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_mbps!r}")
+    return size_bytes * 8 / (rate_mbps * 1e6)
+
+
+def packets_per_sec(rate_mbps: float, size_bytes: int) -> float:
+    """Packets of ``size_bytes`` per second at ``rate_mbps``."""
+    return rate_mbps * 1e6 / (size_bytes * 8)

@@ -1,0 +1,47 @@
+"""TCP/IP substrate and the paper's Section-4 router mechanisms.
+
+TCP Reno per Stevens §21, greedy applications with 512-byte packets,
+routers with drop-tail / RED queues, and the four Phantom mechanisms:
+Selective Discard, Selective Source Quench, selective EFCI marking, and
+Selective RED.
+"""
+
+from repro.tcp.link import PacketLink, PacketSink
+from repro.tcp.network import Flow, TcpNetwork
+from repro.tcp.phantom_router import (RouterPhantom, SelectiveDiscard,
+                                      SelectiveEfci, SelectiveQuench,
+                                      SelectiveRed)
+from repro.tcp.red import Red
+from repro.tcp.reno import RenoParams, TcpRenoSource
+from repro.tcp.router import (DropTail, PacketPort, QueuePolicy, Router,
+                              RouterError)
+from repro.tcp.segment import DEFAULT_MSS, HEADER_BYTES, Segment
+from repro.tcp.sink import TcpSink
+from repro.tcp.variants import TcpTahoeSource, TcpVegasSource, VegasParams
+
+__all__ = [
+    "PacketLink",
+    "PacketSink",
+    "Flow",
+    "TcpNetwork",
+    "RouterPhantom",
+    "SelectiveDiscard",
+    "SelectiveEfci",
+    "SelectiveQuench",
+    "SelectiveRed",
+    "Red",
+    "RenoParams",
+    "TcpRenoSource",
+    "DropTail",
+    "PacketPort",
+    "QueuePolicy",
+    "Router",
+    "RouterError",
+    "Segment",
+    "DEFAULT_MSS",
+    "HEADER_BYTES",
+    "TcpSink",
+    "TcpTahoeSource",
+    "TcpVegasSource",
+    "VegasParams",
+]

@@ -1,0 +1,70 @@
+"""Packet links: variable-size serialization plus propagation delay.
+
+The packet twin of :class:`repro.atm.link.Link`; transmission time is
+``size * 8 / rate`` per packet.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+from repro.sim import Simulator
+from repro.tcp.segment import Segment
+
+
+class PacketSink(Protocol):
+    """Anything that accepts packets."""
+
+    def receive(self, segment: Segment) -> None: ...
+
+
+class PacketLink:
+    """Serializing, lossless link (access links; never the bottleneck)."""
+
+    def __init__(self, sim: Simulator, rate_mbps: float,
+                 propagation: float, sink: PacketSink, name: str = ""):
+        if rate_mbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_mbps!r}")
+        if propagation < 0:
+            raise ValueError(
+                f"propagation must be >= 0, got {propagation!r}")
+        self.sim = sim
+        self.rate_mbps = rate_mbps
+        self.propagation = propagation
+        self.sink = sink
+        self.name = name
+        self._buffer: deque[Segment] = deque()
+        self._busy = False
+        self.delivered = 0
+
+    def _tx_time(self, segment: Segment) -> float:
+        return segment.size * 8 / (self.rate_mbps * 1e6)
+
+    def send(self, segment: Segment) -> None:
+        self._buffer.append(segment)
+        if not self._busy:
+            self._busy = True
+            self.sim.schedule(self._tx_time(self._buffer[0]),
+                              self._transmitted)
+
+    def receive(self, segment: Segment) -> None:
+        """PacketSink alias so links compose with routers and hosts."""
+        self.send(segment)
+
+    def _transmitted(self) -> None:
+        segment = self._buffer.popleft()
+        self.sim.schedule(self.propagation, self._deliver, segment)
+        if self._buffer:
+            self.sim.schedule(self._tx_time(self._buffer[0]),
+                              self._transmitted)
+        else:
+            self._busy = False
+
+    def _deliver(self, segment: Segment) -> None:
+        self.delivered += 1
+        self.sink.receive(segment)
+
+    @property
+    def queued(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,240 @@
+"""Phantom in TCP routers — the four mechanisms of paper Section 4.
+
+The router measures its residual bandwidth exactly as the ATM switch does
+(bytes instead of cells) and maintains MACR with the same filter.  The
+sources stamp their measured current rate (CR) into every data packet
+(:mod:`repro.tcp.segment`); a packet is *conformant* when
+
+    CR <= utilization_factor × MACR
+
+and each policy differs only in what it does to non-conformant packets:
+
+* :class:`SelectiveDiscard` (Fig. 18) — drop them.  "This mechanism
+  avoids congestion even in drop tail routers while reducing both the
+  bias discussed in [FJ92] and the beat-down problem."
+* :class:`SelectiveQuench` — enqueue, but send an ICMP Source Quench to
+  the source, which reacts as if a packet was dropped [BP87].
+* :class:`SelectiveEfci` — enqueue, but set the EFCI bit in the header;
+  the receiver echoes it and the source "may not increase its rate"
+  (paper's Fig. 9/11 variant, utilization_factor = 5).
+* :class:`SelectiveRed` — RED in which only non-conformant packets are
+  drop candidates.
+
+All four keep constant state per port: MACR, DEV, a byte counter — no
+per-flow table (the point of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.macr import MacrFilter
+from repro.core.params import DEFAULT_PHANTOM_PARAMS, PhantomParams
+from repro.sim import PeriodicTimer, Probe, Simulator
+from repro.tcp.red import Red
+from repro.tcp.router import DropTail, PacketPort, QueuePolicy
+from repro.tcp.segment import Segment
+
+
+class RouterPhantom:
+    """Per-port residual meter + MACR filter, byte-based."""
+
+    def __init__(self, params: PhantomParams = DEFAULT_PHANTOM_PARAMS):
+        self.params = params
+        self.filter: MacrFilter | None = None
+        self.bytes_this_interval = 0
+        self.macr_probe = Probe("macr")
+        self._port: PacketPort | None = None
+
+    def attach(self, sim: Simulator, port: PacketPort) -> None:
+        self._port = port
+        self.filter = MacrFilter(port.rate_mbps, self.params)
+        self.macr_probe.name = f"{port.name}.macr"
+        self.macr_probe.record(sim.now, self.filter.macr)
+        self._sim = sim
+        PeriodicTimer(sim, self.params.interval, self._on_interval).start()
+
+    def count(self, segment: Segment) -> None:
+        self.bytes_this_interval += segment.size
+
+    def _on_interval(self, _timer: PeriodicTimer) -> None:
+        offered = self.bytes_this_interval * 8 / self.params.interval / 1e6
+        self.bytes_this_interval = 0
+        macr = self.filter.update(self._port.rate_mbps - offered)
+        self.macr_probe.record(self._sim.now, macr)
+
+    @property
+    def macr(self) -> float:
+        return self.filter.macr
+
+    @property
+    def granted_rate(self) -> float:
+        """The conformance limit (Mb/s): f × MACR, floored at
+        ``grant_floor_fraction`` of the line rate (see PhantomParams)."""
+        return max(self.params.utilization_factor * self.filter.macr,
+                   self.params.grant_floor_fraction * self._port.rate_mbps)
+
+    def conformant(self, segment: Segment) -> bool:
+        return segment.cr <= self.granted_rate
+
+    def state_vars(self) -> dict[str, float]:
+        state = self.filter.state_vars()
+        state["bytes_this_interval"] = float(self.bytes_this_interval)
+        return state
+
+
+class _PhantomPolicy(QueuePolicy):
+    """Shared plumbing: a drop-tail buffer plus a RouterPhantom meter."""
+
+    def __init__(self, buffer_packets: int,
+                 params: PhantomParams = DEFAULT_PHANTOM_PARAMS):
+        if buffer_packets < 1:
+            raise ValueError(
+                f"buffer_packets must be >= 1, got {buffer_packets!r}")
+        super().__init__()
+        self.buffer_packets = buffer_packets
+        self.phantom = RouterPhantom(params)
+
+    def on_attach(self) -> None:
+        self.phantom.attach(self.sim, self.port)
+
+    @property
+    def macr_probe(self) -> Probe:
+        return self.phantom.macr_probe
+
+    def state_vars(self) -> dict[str, float]:
+        return self.phantom.state_vars()
+
+
+class SelectiveDiscard(_PhantomPolicy):
+    """Drop data packets whose CR stamp exceeds f × MACR (Fig. 18).
+
+    By default discards are rate-limited to one per ``drop_gap`` seconds
+    per port (a single extra scalar — still constant space).  TCP Reno
+    interprets an isolated loss as a fast-retransmit signal and settles
+    its window at the grant; dropping *every* non-conformant packet for
+    a full CR-measurement interval would instead wipe whole windows,
+    force retransmission timeouts, and re-introduce the ramp-speed (RTT)
+    bias the mechanism exists to remove.  The paper's Fig. 18 pseudo-code
+    is not in the available text, so the unthrottled literal reading
+    remains available as ``drop_gap=0`` and is measured in the E10
+    ablation.
+    """
+
+    name = "selective-discard"
+
+    def __init__(self, buffer_packets: int = 1000,
+                 params: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                 drop_gap: float = 0.01):
+        if drop_gap < 0:
+            raise ValueError(f"drop_gap must be >= 0, got {drop_gap!r}")
+        super().__init__(buffer_packets, params)
+        self.drop_gap = drop_gap
+        self.selective_drops = 0
+        self._last_drop = -float("inf")
+
+    def accepts(self, segment: Segment) -> bool:
+        self.phantom.count(segment)
+        if (segment.is_data and not self.phantom.conformant(segment)
+                and self.sim.now - self._last_drop >= self.drop_gap):
+            self.selective_drops += 1
+            self._last_drop = self.sim.now
+            return False
+        return self.port.queue_len < self.buffer_packets
+
+
+class SelectiveQuench(_PhantomPolicy):
+    """Send Source Quench to sources exceeding f × MACR; keep the packet.
+
+    The quench message consumes reverse-path bandwidth — the cost the
+    paper notes for this variant.  A per-port minimum gap bounds the
+    quench rate without per-flow state.
+    """
+
+    name = "selective-quench"
+
+    def __init__(self, buffer_packets: int = 1000,
+                 params: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                 min_gap: float = 0.0):
+        if min_gap < 0:
+            raise ValueError(f"min_gap must be >= 0, got {min_gap!r}")
+        super().__init__(buffer_packets, params)
+        self.min_gap = min_gap
+        self.quenches_sent = 0
+        self._last_quench = -float("inf")
+
+    def accepts(self, segment: Segment) -> bool:
+        self.phantom.count(segment)
+        if (segment.is_data and not self.phantom.conformant(segment)
+                and self.sim.now - self._last_quench >= self.min_gap):
+            self.quenches_sent += 1
+            self._last_quench = self.sim.now
+            self.port.send_toward_source(
+                segment.flow, Segment(flow=segment.flow, is_quench=True))
+        return self.port.queue_len < self.buffer_packets
+
+
+class SelectiveEfci(_PhantomPolicy):
+    """Set the EFCI header bit on non-conformant data packets.
+
+    Softest of the four: sources observing the echoed bit hold their
+    window instead of shrinking it, so the operating point is reached
+    without losses (paper Fig. 11, on the scenario of Fig. 9).
+    """
+
+    name = "selective-efci"
+
+    def __init__(self, buffer_packets: int = 1000,
+                 params: PhantomParams = DEFAULT_PHANTOM_PARAMS):
+        super().__init__(buffer_packets, params)
+        self.marked = 0
+
+    def accepts(self, segment: Segment) -> bool:
+        self.phantom.count(segment)
+        if segment.is_data and not self.phantom.conformant(segment):
+            segment.efci = True
+            self.marked += 1
+        return self.port.queue_len < self.buffer_packets
+
+
+class SelectiveRed(Red):
+    """RED whose drop candidates are only the non-conformant packets."""
+
+    name = "selective-red"
+
+    def __init__(self, min_th: float = 5.0, max_th: float = 15.0,
+                 max_p: float = 0.02, wq: float = 0.002,
+                 buffer_packets: int = 1000,
+                 params: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                 rng: random.Random | None = None):
+        super().__init__(min_th, max_th, max_p, wq, buffer_packets, rng)
+        self.phantom = RouterPhantom(params)
+
+    def on_attach(self) -> None:
+        self.phantom.attach(self.sim, self.port)
+
+    @property
+    def macr_probe(self) -> Probe:
+        return self.phantom.macr_probe
+
+    def accepts(self, segment: Segment) -> bool:
+        self.phantom.count(segment)
+        return super().accepts(segment)
+
+    def droppable(self, segment: Segment) -> bool:
+        return segment.is_data and not self.phantom.conformant(segment)
+
+    def state_vars(self) -> dict[str, float]:
+        state = super().state_vars()
+        state.update(self.phantom.state_vars())
+        return state
+
+
+__all__ = [
+    "RouterPhantom",
+    "SelectiveDiscard",
+    "SelectiveQuench",
+    "SelectiveEfci",
+    "SelectiveRed",
+    "DropTail",
+]

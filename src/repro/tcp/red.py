@@ -1,0 +1,93 @@
+"""Random Early Detection [FJ93].
+
+The gateway mechanism of Floyd and Jacobson the paper discusses (and
+builds on for Selective RED).  At each packet arrival the policy updates
+an exponentially weighted average of the queue length — decayed for the
+time the line was idle — and drops the arriving packet with a probability
+that rises linearly between ``min_th`` and ``max_th``; above ``max_th``
+every packet is dropped.  The inter-drop spacing trick (``count``) makes
+drops roughly uniform rather than bursty, reducing the traffic-phase bias
+of drop-tail [FJ92].
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.tcp.router import QueuePolicy
+from repro.tcp.segment import Segment
+
+
+class Red(QueuePolicy):
+    """RED queue policy with the [FJ93] estimator and drop law."""
+
+    name = "red"
+
+    def __init__(self, min_th: float = 5.0, max_th: float = 15.0,
+                 max_p: float = 0.02, wq: float = 0.002,
+                 buffer_packets: int = 1000,
+                 rng: random.Random | None = None):
+        if not 0 < min_th < max_th:
+            raise ValueError(
+                f"need 0 < min_th < max_th, got {min_th!r}, {max_th!r}")
+        if not 0 < max_p <= 1:
+            raise ValueError(f"max_p must be in (0, 1], got {max_p!r}")
+        if not 0 < wq <= 1:
+            raise ValueError(f"wq must be in (0, 1], got {wq!r}")
+        if buffer_packets < 1:
+            raise ValueError(
+                f"buffer_packets must be >= 1, got {buffer_packets!r}")
+        super().__init__()
+        self.min_th = min_th
+        self.max_th = max_th
+        self.max_p = max_p
+        self.wq = wq
+        self.buffer_packets = buffer_packets
+        self.rng = rng or random.Random(0)
+
+        self.avg = 0.0
+        self.count = -1
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    # ------------------------------------------------------------------
+    def _update_average(self) -> None:
+        queue = self.port.queue_len
+        if queue == 0 and self.port.idle_since is not None:
+            # decay the average for the idle period, in units of a
+            # typical packet's transmission time
+            idle = self.sim.now - self.port.idle_since
+            m = int(idle / self.port.mean_packet_time())
+            self.avg *= (1 - self.wq) ** m
+        self.avg += self.wq * (queue - self.avg)
+
+    def droppable(self, segment: Segment) -> bool:
+        """Which packets RED may drop (hook for Selective RED)."""
+        return segment.is_data
+
+    def accepts(self, segment: Segment) -> bool:
+        if self.port.queue_len >= self.buffer_packets:
+            self.forced_drops += 1
+            return False
+        self._update_average()
+        if not self.droppable(segment):
+            return True
+        if self.avg < self.min_th:
+            self.count = -1
+            return True
+        if self.avg >= self.max_th:
+            self.forced_drops += 1
+            self.count = 0
+            return False
+        self.count += 1
+        pb = self.max_p * (self.avg - self.min_th) / (self.max_th - self.min_th)
+        denominator = 1 - self.count * pb
+        pa = pb / denominator if denominator > 0 else 1.0
+        if self.rng.random() < pa:
+            self.early_drops += 1
+            self.count = 0
+            return False
+        return True
+
+    def state_vars(self) -> dict[str, float]:
+        return {"avg": self.avg, "count": float(self.count)}

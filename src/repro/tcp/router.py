@@ -1,0 +1,193 @@
+"""IP routers: output-queued forwarding with pluggable queue policies.
+
+The router mirrors the ATM switch: data packets follow the flow's forward
+route, ACKs and Source Quench messages the backward route.  Contention
+lives in :class:`PacketPort` (one per directed trunk), whose
+:class:`QueuePolicy` decides — per arriving data packet — whether to
+enqueue, drop, mark, or quench.  Drop-tail lives here; RED and the
+paper's Phantom mechanisms are in :mod:`repro.tcp.red` and
+:mod:`repro.tcp.phantom_router`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.sim import Simulator, StepProbe
+from repro.tcp.link import PacketSink
+from repro.tcp.segment import Segment
+
+
+class QueuePolicy:
+    """Decides the fate of arriving packets at one port.
+
+    The base class is an unbounded FIFO (every packet accepted) — useful
+    for tests.  Subclasses override :meth:`accepts`; they may also mutate
+    the segment (EFCI marking) or ask the port to send a message toward
+    the source (Source Quench) before returning.
+    """
+
+    name = "unbounded"
+
+    def __init__(self) -> None:
+        self.sim: Simulator | None = None
+        self.port: "PacketPort | None" = None
+
+    def attach(self, sim: Simulator, port: "PacketPort") -> None:
+        self.sim = sim
+        self.port = port
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Start timers / initialise state (sim and port are bound)."""
+
+    def accepts(self, segment: Segment) -> bool:
+        """True to enqueue ``segment``, False to drop it."""
+        return True
+
+    def on_departure(self, segment: Segment) -> None:
+        """A packet left the port onto the wire."""
+
+    def state_vars(self) -> dict[str, float]:
+        """Mutable scalar state, for constant-space assertions."""
+        return {}
+
+
+class DropTail(QueuePolicy):
+    """Plain bounded FIFO — the paper's unmodified router."""
+
+    name = "drop-tail"
+
+    def __init__(self, buffer_packets: int):
+        if buffer_packets < 1:
+            raise ValueError(
+                f"buffer_packets must be >= 1, got {buffer_packets!r}")
+        super().__init__()
+        self.buffer_packets = buffer_packets
+
+    def accepts(self, segment: Segment) -> bool:
+        return self.port.queue_len < self.buffer_packets
+
+
+class PacketPort(PacketSink):
+    """Output port of a router: policy + FIFO + line-rate transmitter."""
+
+    def __init__(self, sim: Simulator, name: str, rate_mbps: float,
+                 sink: PacketSink, policy: QueuePolicy | None = None,
+                 propagation: float = 0.0):
+        if rate_mbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_mbps!r}")
+        self.sim = sim
+        self.name = name
+        self.rate_mbps = rate_mbps
+        self.sink = sink
+        self.propagation = propagation
+        self.policy = policy or QueuePolicy()
+        self.router: "Router | None" = None
+        self.policy.attach(sim, self)
+
+        self._queue: deque[Segment] = deque()
+        self._busy = False
+
+        #: Queue length in packets — the paper's router figures.
+        self.queue_probe = StepProbe(f"{name}.queue")
+        self.arrivals = 0
+        self.departures = 0
+        self.drops = 0
+        self.drops_by_flow: dict[str, int] = {}
+        #: Time the port last went idle (RED's idle-decay needs it).
+        self.idle_since: float | None = 0.0
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def mean_packet_time(self, bytes_: int = 552) -> float:
+        """Transmission time of a typical packet (RED's idle unit)."""
+        return bytes_ * 8 / (self.rate_mbps * 1e6)
+
+    def receive(self, segment: Segment) -> None:
+        self.arrivals += 1
+        if not self.policy.accepts(segment):
+            self.drops += 1
+            self.drops_by_flow[segment.flow] = (
+                self.drops_by_flow.get(segment.flow, 0) + 1)
+            return
+        self._queue.append(segment)
+        self.queue_probe.record(self.sim.now, len(self._queue))
+        if not self._busy:
+            self._busy = True
+            self.idle_since = None
+            self.sim.schedule(self._tx_time(segment), self._transmitted)
+
+    def _tx_time(self, segment: Segment) -> float:
+        return segment.size * 8 / (self.rate_mbps * 1e6)
+
+    def _transmitted(self) -> None:
+        segment = self._queue.popleft()
+        self.queue_probe.record(self.sim.now, len(self._queue))
+        self.departures += 1
+        self.policy.on_departure(segment)
+        if self.propagation > 0:
+            self.sim.schedule(self.propagation, self.sink.receive, segment)
+        else:
+            self.sink.receive(segment)
+        if self._queue:
+            self.sim.schedule(self._tx_time(self._queue[0]),
+                              self._transmitted)
+        else:
+            self._busy = False
+            self.idle_since = self.sim.now
+
+    def send_toward_source(self, flow: str, segment: Segment) -> None:
+        """Policy hook: inject ``segment`` on the flow's backward path
+        (Source Quench messages)."""
+        if self.router is None:
+            raise RuntimeError(f"port {self.name} is not owned by a router")
+        self.router.backward(flow).receive(segment)
+
+
+class RouterError(KeyError):
+    """A packet arrived for a flow the router has no route for."""
+
+
+class Router(PacketSink):
+    """A named router with per-flow forward/backward routes."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self._forward: dict[str, PacketSink] = {}
+        self._backward: dict[str, PacketSink] = {}
+
+    def connect_flow(self, flow: str, forward: PacketSink,
+                     backward: PacketSink) -> None:
+        if flow in self._forward:
+            raise ValueError(
+                f"router {self.name}: flow {flow!r} already routed")
+        self._forward[flow] = forward
+        self._backward[flow] = backward
+        if isinstance(forward, PacketPort):
+            forward.router = self
+
+    def backward(self, flow: str) -> PacketSink:
+        try:
+            return self._backward[flow]
+        except KeyError:
+            raise RouterError(
+                f"router {self.name}: no backward route for "
+                f"flow {flow!r}") from None
+
+    def receive(self, segment: Segment) -> None:
+        table = (self._forward if segment.is_data and not segment.is_quench
+                 else self._backward)
+        try:
+            hop = table[segment.flow]
+        except KeyError:
+            raise RouterError(
+                f"router {self.name}: no route for flow "
+                f"{segment.flow!r}") from None
+        hop.receive(segment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Router {self.name} flows={sorted(self._forward)}>"

@@ -1,0 +1,59 @@
+"""TCP/IP packets as the simulator sees them.
+
+One class covers data segments, pure ACKs, and the ICMP Source Quench
+stand-in.  Only fields the flow-control loop reads are modelled; the wire
+size is payload + a 40-byte TCP/IP header, matching the paper's 512-byte
+data packets.
+
+Two fields carry the paper's Section-4 extensions:
+
+* ``cr`` — the source's current rate stamp (Mb/s) in the IP/TCP header.
+  The paper: the source "indicates its current rate (CR) in the IP (or
+  TCP) header", measured as acknowledged payload per time interval.
+* ``efci`` / ``efci_echo`` — the EFCI bit a router may set on a data
+  packet, and its echo in the ACK stream so the source learns of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: TCP + IP header bytes.
+HEADER_BYTES = 40
+#: The paper's data packet payload.
+DEFAULT_MSS = 512
+
+
+@dataclass(slots=True)
+class Segment:
+    """A TCP segment / IP packet."""
+
+    flow: str
+    #: Sequence number of the first payload byte (data segments).
+    seq: int = 0
+    #: Payload bytes; 0 for pure ACKs and quench messages.
+    payload: int = 0
+    #: Cumulative acknowledgement: next byte expected by the receiver.
+    ack: int | None = None
+    #: Source's current-rate stamp in Mb/s (Phantom routers read this).
+    cr: float = 0.0
+    #: EFCI congestion bit (set by routers on data packets).
+    efci: bool = False
+    #: Receiver's echo of EFCI back to the source (set on ACKs).
+    efci_echo: bool = False
+    #: ICMP Source Quench stand-in (router → source).
+    is_quench: bool = False
+
+    @property
+    def size(self) -> int:
+        """Bytes on the wire."""
+        return self.payload + HEADER_BYTES
+
+    @property
+    def is_data(self) -> bool:
+        return self.payload > 0
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last payload byte."""
+        return self.seq + self.payload

@@ -1,0 +1,102 @@
+"""TCP receiver: cumulative ACKs, out-of-order reassembly, EFCI echo."""
+
+from __future__ import annotations
+
+from repro.sim import Event, Simulator
+from repro.tcp.link import PacketSink
+from repro.tcp.segment import Segment
+
+
+class TcpSink(PacketSink):
+    """Receiver end of one flow.
+
+    Acknowledges data segments with the next expected byte (cumulative
+    ACK, which is what makes duplicate ACKs appear at the sender when a
+    segment is lost).  Out-of-order segments are buffered so a
+    retransmission can be acknowledged past them at once.  The EFCI bit
+    of arriving data is echoed in the ACK, closing the loop for the
+    :class:`repro.tcp.phantom_router.SelectiveEfci` router.
+
+    With ``delayed_ack`` set, in-order segments are acknowledged per the
+    BSD rule [Ste94 §19.3]: every second segment immediately, a lone
+    segment after the delayed-ACK timer (default 200 ms).  Out-of-order
+    and duplicate segments are always acknowledged immediately, so fast
+    retransmit still sees its duplicate ACKs.
+    """
+
+    def __init__(self, sim: Simulator, flow: str,
+                 delayed_ack: bool = False, delack_time: float = 0.2):
+        if delack_time <= 0:
+            raise ValueError(
+                f"delack_time must be positive, got {delack_time!r}")
+        self.sim = sim
+        self.flow = flow
+        self.delayed_ack = delayed_ack
+        self.delack_time = delack_time
+        self.reverse: PacketSink | None = None
+        #: Next in-order byte expected == total in-order payload received.
+        self.expected = 0
+        self._out_of_order: dict[int, int] = {}  # seq -> payload
+        self.segments_received = 0
+        self.duplicates = 0
+        self.acks_sent = 0
+        self._pending_segments = 0
+        self._pending_efci = False
+        self._delack_event: Event | None = None
+
+    def attach_reverse(self, link: PacketSink) -> None:
+        self.reverse = link
+
+    @property
+    def bytes_received(self) -> int:
+        """In-order payload bytes delivered to the application."""
+        return self.expected
+
+    def receive(self, segment: Segment) -> None:
+        if segment.flow != self.flow:
+            raise ValueError(
+                f"sink {self.flow} got segment of flow {segment.flow!r}")
+        if not segment.is_data:
+            raise ValueError(
+                f"sink {self.flow} got a non-data segment")
+        if self.reverse is None:
+            raise RuntimeError(f"sink {self.flow} has no reverse link")
+        self.segments_received += 1
+
+        in_order = segment.seq == self.expected
+        if in_order:
+            self.expected = segment.end_seq
+            while self.expected in self._out_of_order:
+                self.expected += self._out_of_order.pop(self.expected)
+        elif segment.seq > self.expected:
+            self._out_of_order[segment.seq] = segment.payload
+        else:
+            self.duplicates += 1
+
+        self._pending_efci = self._pending_efci or segment.efci
+        if not self.delayed_ack or not in_order:
+            # gaps and duplicates must generate immediate (dup) ACKs
+            self._send_ack()
+            return
+        self._pending_segments += 1
+        if self._pending_segments >= 2:
+            self._send_ack()
+        elif self._delack_event is None:
+            self._delack_event = self.sim.schedule(
+                self.delack_time, self._delack_fire)
+
+    def _delack_fire(self) -> None:
+        self._delack_event = None
+        if self._pending_segments:
+            self._send_ack()
+
+    def _send_ack(self) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        efci = self._pending_efci
+        self._pending_segments = 0
+        self._pending_efci = False
+        self.acks_sent += 1
+        self.reverse.receive(Segment(
+            flow=self.flow, ack=self.expected, efci_echo=efci))

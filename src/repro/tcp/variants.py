@@ -1,0 +1,131 @@
+"""TCP sender variants beyond Reno: Tahoe and Vegas.
+
+The paper's Section 4 surveys the source-side mechanisms of its day —
+Reno [Jac88] and Vegas [BP95] — and argues neither guarantees fairness:
+"when two sources that use Vegas get different window sizes, and both
+have the same delay thresholds (α, β), there is no mechanism that would
+balance them."  These implementations exist to reproduce that argument
+(benchmark E21) and to demonstrate that the Phantom router mechanisms
+equalise heterogeneous source stacks (E22) — the abstract's "easily
+inter-operates with current TCP flow control mechanisms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Simulator
+from repro.tcp.reno import RenoParams, TcpRenoSource
+from repro.tcp.segment import Segment
+
+
+class TcpTahoeSource(TcpRenoSource):
+    """Tahoe: fast retransmit without fast recovery.
+
+    On the third duplicate ACK the lost segment is retransmitted and the
+    sender falls back to slow start from one segment — the pre-Reno BSD
+    behaviour.  Everything else (timers, RTT estimation, CR stamping) is
+    inherited.
+    """
+
+    def _on_dupack(self) -> None:
+        mss = self.params.mss
+        self.dupacks += 1
+        if self.dupacks == self.params.dupack_threshold:
+            self.fast_retransmits += 1
+            self.ssthresh = max(self.flight_size / 2, 2 * mss)
+            self.cwnd = mss
+            self.snd_nxt = self.snd_una  # go-back-N, like a timeout
+            self._transmit(self.snd_nxt, is_retransmit=True)
+            self.snd_nxt += mss
+            self._restart_rto()
+        self.cwnd_probe.record(self.sim.now, self.cwnd)
+        self._try_send()
+
+
+@dataclass(frozen=True, slots=True)
+class VegasParams(RenoParams):
+    """Vegas thresholds, in segments of backlog [BP95]."""
+
+    #: Increase the window when the estimated backlog is below this.
+    vegas_alpha: float = 2.0
+    #: Decrease the window when the estimated backlog is above this.
+    vegas_beta: float = 4.0
+    #: Leave slow start when the backlog first exceeds this.
+    vegas_gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        RenoParams.__post_init__(self)
+        if not 0 < self.vegas_alpha <= self.vegas_beta:
+            raise ValueError(
+                f"need 0 < alpha <= beta, got "
+                f"{self.vegas_alpha!r}, {self.vegas_beta!r}")
+        if self.vegas_gamma <= 0:
+            raise ValueError(
+                f"vegas_gamma must be positive, got {self.vegas_gamma!r}")
+
+
+class TcpVegasSource(TcpRenoSource):
+    """TCP Vegas [BP95]: congestion avoidance by RTT, once per RTT.
+
+    Expected = cwnd / BaseRTT, Actual = cwnd / RTT; the difference —
+    the data the flow keeps queued in the network — is steered into the
+    [α, β] band.  Loss handling stays Reno's (the paper's comparison is
+    about the avoidance policy, not Vegas' finer retransmission timing).
+
+    The documented Vegas pathologies are reproduced faithfully: BaseRTT
+    is the minimum *observed* RTT, so a flow that starts into an already
+    standing queue overestimates its propagation delay and claims more
+    than its share (benchmark E21).
+    """
+
+    def __init__(self, sim: Simulator, flow: str,
+                 params: RenoParams = VegasParams(),
+                 start_time: float = 0.0):
+        if not isinstance(params, VegasParams):
+            # accept base params (e.g. from TcpNetwork defaults) by
+            # grafting the Vegas thresholds onto them
+            params = VegasParams(
+                **{f: getattr(params, f)
+                   for f in RenoParams.__dataclass_fields__})
+        super().__init__(sim, flow, params=params, start_time=start_time)
+        self.base_rtt: float | None = None
+        self._adjust_boundary = 0
+
+    def _update_rtt(self, ack: int) -> None:
+        super()._update_rtt(ack)
+        if self.last_rtt is not None:
+            if self.base_rtt is None or self.last_rtt < self.base_rtt:
+                self.base_rtt = self.last_rtt
+
+    def backlog_segments(self) -> float | None:
+        """Vegas' Diff estimate, in segments (None before any RTT)."""
+        if (self.base_rtt is None or self.last_rtt is None
+                or self.last_rtt <= 0):
+            return None
+        queued_fraction = 1.0 - self.base_rtt / self.last_rtt
+        return self.cwnd * queued_fraction / self.params.mss
+
+    def _grow_window(self, segment: Segment) -> None:
+        mss = self.params.mss
+        diff = self.backlog_segments()
+        if diff is None:
+            super()._grow_window(segment)
+            return
+        # once-per-RTT rhythm: act only when the ACK passes the window
+        # boundary recorded at the previous adjustment
+        if self.snd_una < self._adjust_boundary:
+            return
+        self._adjust_boundary = self.snd_nxt
+        p: VegasParams = self.params
+        if self.cwnd < self.ssthresh:
+            if diff > p.vegas_gamma:
+                self.ssthresh = self.cwnd  # leave slow start
+            else:
+                self.cwnd += mss
+            return
+        if diff < p.vegas_alpha:
+            self.cwnd += mss
+        elif diff > p.vegas_beta:
+            self.cwnd = max(self.cwnd - mss, 2 * mss)
+        # inside the band: hold

@@ -1,0 +1,138 @@
+"""Unit tests for the metrics module."""
+
+import math
+
+import pytest
+
+from repro.analysis import (allocation_error, convergence_time, jain_index,
+                            max_min_ratio, queue_stats, utilization)
+from repro.sim import Probe
+
+
+def probe_of(points):
+    p = Probe("t")
+    for t, v in points:
+        p.record(t, v)
+    return p
+
+
+# ----------------------------------------------------------------------
+# fairness
+# ----------------------------------------------------------------------
+
+def test_jain_equal_rates_is_one():
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_jain_starved_session_lowers_index():
+    # one of two gets everything: J = 1/2
+    assert jain_index([10.0, 0.0]) == pytest.approx(0.5)
+
+
+def test_jain_known_value():
+    # classic example: (1+2+3)^2 / (3*(1+4+9)) = 36/42
+    assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+
+def test_jain_validation():
+    with pytest.raises(ValueError):
+        jain_index([])
+    with pytest.raises(ValueError):
+        jain_index([1.0, -2.0])
+    assert jain_index([0.0, 0.0]) == 1.0
+
+
+def test_max_min_ratio():
+    assert max_min_ratio([2.0, 4.0]) == 2.0
+    assert max_min_ratio([3.0]) == 1.0
+    assert max_min_ratio([0.0, 1.0]) == math.inf
+    with pytest.raises(ValueError):
+        max_min_ratio([])
+
+
+def test_allocation_error_zero_when_exact():
+    ref = {"a": 10.0, "b": 20.0}
+    assert allocation_error(ref, ref) == 0.0
+
+
+def test_allocation_error_rms():
+    measured = {"a": 11.0, "b": 18.0}
+    ref = {"a": 10.0, "b": 20.0}
+    expected = math.sqrt(((0.1) ** 2 + (0.1) ** 2) / 2)
+    assert allocation_error(measured, ref) == pytest.approx(expected)
+
+
+def test_allocation_error_validation():
+    with pytest.raises(ValueError):
+        allocation_error({"a": 1.0}, {"b": 1.0})
+    with pytest.raises(ValueError):
+        allocation_error({}, {})
+    with pytest.raises(ValueError):
+        allocation_error({"a": 1.0}, {"a": 0.0})
+
+
+# ----------------------------------------------------------------------
+# convergence
+# ----------------------------------------------------------------------
+
+def test_convergence_time_simple():
+    p = probe_of([(0.0, 0.0), (1.0, 50.0), (2.0, 95.0), (3.0, 99.0),
+                  (4.0, 101.0), (5.0, 100.0)])
+    assert convergence_time(p, target=100.0, tolerance=0.1) == 2.0
+
+
+def test_convergence_resets_on_excursion():
+    p = probe_of([(0.0, 100.0), (1.0, 100.0), (2.0, 0.0), (3.0, 100.0),
+                  (4.0, 100.0)])
+    assert convergence_time(p, target=100.0, tolerance=0.1) == 3.0
+
+
+def test_convergence_never():
+    p = probe_of([(0.0, 0.0), (1.0, 10.0)])
+    assert convergence_time(p, target=100.0) == math.inf
+
+
+def test_convergence_needs_hold():
+    p = probe_of([(0.0, 0.0), (1.0, 100.0)])  # enters band at the very end
+    assert convergence_time(p, target=100.0, hold=0.5) == math.inf
+
+
+def test_convergence_validation():
+    with pytest.raises(ValueError):
+        convergence_time(Probe(), target=1.0)
+    with pytest.raises(ValueError):
+        convergence_time(probe_of([(0.0, 1.0)]), target=0.0)
+
+
+# ----------------------------------------------------------------------
+# utilisation and queues
+# ----------------------------------------------------------------------
+
+def test_utilization_sums_probes():
+    a = probe_of([(0.0, 30.0), (10.0, 30.0)])
+    b = probe_of([(0.0, 60.0), (10.0, 60.0)])
+    assert utilization([a, b], capacity=100.0, start=0.0, end=10.0) == (
+        pytest.approx(0.9))
+
+
+def test_utilization_validation():
+    p = probe_of([(0.0, 1.0)])
+    with pytest.raises(ValueError):
+        utilization([p], capacity=0.0, start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        utilization([p], capacity=1.0, start=1.0, end=1.0)
+
+
+def test_queue_stats_window():
+    q = probe_of([(0.0, 0.0), (1.0, 10.0), (2.0, 4.0), (3.0, 0.0)])
+    stats = queue_stats(q, 0.0, 3.0)
+    assert stats["max"] == 10.0
+    assert stats["final"] == 0.0
+    # time-weighted: 0*1 + 10*1 + 4*1 over 3s
+    assert stats["mean"] == pytest.approx(14 / 3)
+
+
+def test_queue_stats_empty_window_uses_held_value():
+    q = probe_of([(0.0, 7.0)])
+    stats = queue_stats(q, 5.0, 6.0)
+    assert stats == {"max": 7.0, "mean": 7.0, "final": 7.0}

@@ -1,0 +1,56 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.analysis import format_table, series_block, sparkline
+from repro.sim import Probe
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "rate"], [["a", 1.5], ["bb", 10.25]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "rate" in lines[0]
+    assert "1.50" in lines[2]
+    assert "10.25" in lines[3]
+    # columns aligned: all rows same width
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_sparkline_range():
+    line = sparkline([0.0, 1.0, 2.0, 3.0])
+    assert len(line) == 4
+    assert line[0] == "▁"
+    assert line[-1] == "█"
+
+
+def test_sparkline_constant_and_empty():
+    assert sparkline([5.0, 5.0]) == "▁▁"
+    assert sparkline([]) == ""
+
+
+def test_sparkline_downsamples():
+    line = sparkline(list(range(1000)), width=50)
+    assert len(line) == 50
+
+
+def test_series_block_contains_samples():
+    p = Probe("x")
+    for i in range(11):
+        p.record(i * 0.01, float(i))
+    block = series_block("rate", p, 0.0, 0.1, samples=3)
+    assert "rate" in block
+    assert "0.0ms" in block
+    assert "100.0ms" in block
+
+
+def test_series_block_validation():
+    p = Probe("x")
+    p.record(0.0, 1.0)
+    with pytest.raises(ValueError):
+        series_block("x", p, 0.0, 1.0, samples=1)

@@ -1,0 +1,75 @@
+"""Unit tests for time-series utilities."""
+
+import io
+import math
+
+import pytest
+
+from repro.analysis import (oscillation_amplitude, resample_uniform,
+                            uniform_grid, write_csv)
+from repro.sim import Probe
+
+
+def probe_of(points):
+    p = Probe("p")
+    for t, v in points:
+        p.record(t, v)
+    return p
+
+
+def test_uniform_grid_endpoints_and_spacing():
+    grid = uniform_grid(0.0, 1.0, 5)
+    assert grid == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+def test_uniform_grid_validation():
+    with pytest.raises(ValueError):
+        uniform_grid(0.0, 1.0, 1)
+    with pytest.raises(ValueError):
+        uniform_grid(1.0, 1.0, 5)
+
+
+def test_resample_uniform_holds_and_nans():
+    p = probe_of([(0.5, 10.0), (1.0, 20.0)])
+    times, values = resample_uniform(p, 0.0, 1.0, 5)
+    assert math.isnan(values[0])
+    assert math.isnan(values[1])  # t=0.25 before first sample
+    assert values[2] == 10.0
+    assert values[4] == 20.0
+
+
+def test_oscillation_amplitude():
+    p = probe_of([(i * 0.1, 10.0 + (5.0 if i % 2 else -5.0))
+                  for i in range(20)])
+    assert oscillation_amplitude(p, 0.0, 1.9) == pytest.approx(10.0)
+
+
+def test_oscillation_amplitude_constant_signal():
+    p = probe_of([(0.0, 3.0), (1.0, 3.0)])
+    assert oscillation_amplitude(p, 0.0, 1.0) == 0.0
+
+
+def test_oscillation_amplitude_empty_window():
+    p = probe_of([(10.0, 1.0)])
+    with pytest.raises(ValueError):
+        oscillation_amplitude(p, 0.0, 1.0)
+
+
+def test_write_csv_shape_and_alignment():
+    a = probe_of([(0.0, 1.0), (0.5, 2.0)])
+    b = probe_of([(0.25, 7.0)])
+    out = io.StringIO()
+    rows = write_csv(out, {"a": a, "b": b}, start=0.0, end=1.0, samples=5)
+    assert rows == 5
+    lines = out.getvalue().strip().splitlines()
+    assert lines[0] == "time,a,b"
+    assert len(lines) == 6
+    # b is empty before 0.25
+    first_row = lines[1].split(",")
+    assert first_row[1] == "1.000000"
+    assert first_row[2] == ""
+
+
+def test_write_csv_requires_series():
+    with pytest.raises(ValueError):
+        write_csv(io.StringIO(), {}, 0.0, 1.0)

@@ -1,0 +1,34 @@
+"""Unit tests for ATM cell types."""
+
+from repro.atm import Cell, RMCell, RMDirection
+
+
+def test_data_cell_defaults():
+    cell = Cell(vc="A", seq=7)
+    assert cell.vc == "A"
+    assert cell.seq == 7
+    assert cell.efci is False
+    assert cell.is_rm is False
+
+
+def test_rm_cell_defaults_forward():
+    rm = RMCell(vc="A", ccr=8.5, er=150.0)
+    assert rm.is_rm is True
+    assert rm.direction is RMDirection.FORWARD
+    assert rm.ci is False
+    assert rm.ni is False
+
+
+def test_turn_around_flips_direction_only():
+    rm = RMCell(vc="A", ccr=8.5, er=150.0, ci=True)
+    rm.turn_around()
+    assert rm.direction is RMDirection.BACKWARD
+    assert rm.ccr == 8.5
+    assert rm.er == 150.0
+    assert rm.ci is True
+
+
+def test_efci_bit_mutable():
+    cell = Cell(vc="A")
+    cell.efci = True
+    assert cell.efci

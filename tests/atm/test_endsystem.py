@@ -1,0 +1,269 @@
+"""Unit tests for ABR source and destination end systems."""
+
+import pytest
+
+from repro.atm import (AbrDestination, AbrParams, AbrSource, Cell, RMCell,
+                       RMDirection)
+from repro.sim import Simulator, units
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.cells = []
+
+    def receive(self, cell):
+        self.cells.append((self.sim.now, cell))
+
+    send = receive
+
+
+def make_source(sim, **kwargs):
+    params = kwargs.pop("params", AbrParams())
+    src = AbrSource(sim, "A", params=params, **kwargs)
+    sink = Collector(sim)
+    src.attach_link(sink)
+    return src, sink
+
+
+def backward_rm(er=150.0, ci=False, ni=False, ccr=0.0):
+    return RMCell(vc="A", direction=RMDirection.BACKWARD,
+                  er=er, ci=ci, ni=ni, ccr=ccr)
+
+
+def test_source_starts_at_icr_and_paces():
+    sim = Simulator()
+    src, sink = make_source(sim)
+    src.start()
+    sim.run(until=0.001)
+    assert src.acr == 8.5
+    # at 8.5 Mb/s one cell every 424/8.5e6 s ~= 49.9 us -> ~20 cells in 1ms
+    expected = int(0.001 / units.cell_time(8.5)) + 1
+    assert abs(len(sink.cells) - expected) <= 1
+    gaps = [t2 - t1 for (t1, _), (t2, _) in zip(sink.cells, sink.cells[1:])]
+    assert all(g == pytest.approx(units.cell_time(8.5)) for g in gaps)
+
+
+def test_first_cell_is_forward_rm_every_nrm():
+    sim = Simulator()
+    src, sink = make_source(sim, params=AbrParams(nrm=4))
+    src.start()
+    sim.run(until=units.cell_time(8.5) * 8.5)
+    kinds = [c.is_rm for _, c in sink.cells]
+    assert kinds[0] is True
+    assert kinds[4] is True
+    assert not any(kinds[1:4])
+    rm = sink.cells[0][1]
+    assert rm.direction is RMDirection.FORWARD
+    assert rm.ccr == 8.5
+    assert rm.er == 150.0
+
+
+def test_start_time_honoured():
+    sim = Simulator()
+    src, sink = make_source(sim, start_time=0.01)
+    src.start()
+    sim.run(until=0.0099)
+    assert sink.cells == []
+    sim.run(until=0.0101)
+    assert sink.cells
+    assert sink.cells[0][0] == pytest.approx(0.01)
+
+
+def test_additive_increase_on_clean_rm():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    src.receive(backward_rm(er=150.0))
+    assert src.acr == pytest.approx(8.5 + 42.5)
+
+
+def test_increase_capped_by_er_and_pcr():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    src.receive(backward_rm(er=20.0))
+    assert src.acr == pytest.approx(20.0)
+    for _ in range(10):
+        src.receive(backward_rm(er=1000.0))
+    assert src.acr == 150.0  # PCR cap
+
+
+def test_ci_multiplicative_decrease():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    src.receive(backward_rm(er=150.0, ci=True))
+    assert src.acr == pytest.approx(8.5 * 0.875)
+
+
+def test_ni_freezes_rate():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    src.receive(backward_rm(er=150.0, ni=True))
+    assert src.acr == pytest.approx(8.5)
+
+
+def test_rate_floor_is_tcr():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    for _ in range(200):
+        src.receive(backward_rm(er=150.0, ci=True))
+    assert src.acr == pytest.approx(AbrParams().tcr_mbps)
+
+
+def test_er_below_floor_clamped():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    src.receive(backward_rm(er=0.0))
+    assert src.acr == pytest.approx(AbrParams().tcr_mbps)
+
+
+def test_rate_increase_pulls_next_emission_earlier():
+    sim = Simulator()
+    src, sink = make_source(sim)
+    src.start()
+    sim.run(until=1e-6)  # first cell emitted at t=0
+    src.receive(backward_rm(er=150.0))  # acr jumps to 51 Mb/s
+    sim.run(until=0.001)
+    # second emission should come ~1/51Mb/s after the first, not 1/8.5
+    gap = sink.cells[1][0] - sink.cells[0][0]
+    assert gap == pytest.approx(units.cell_time(8.5 + 42.5))
+
+
+def test_set_active_false_stops_emission():
+    sim = Simulator()
+    src, sink = make_source(sim)
+    src.start()
+    sim.run(until=0.001)
+    sent = len(sink.cells)
+    src.set_active(False)
+    sim.run(until=0.002)
+    assert len(sink.cells) == sent
+
+
+def test_reactivation_after_long_idle_resets_to_icr():
+    sim = Simulator()
+    src, _ = make_source(sim, params=AbrParams(idle_reset=0.01))
+    src.start()
+    for _ in range(5):
+        src.receive(backward_rm(er=150.0))
+    assert src.acr > 100.0
+    sim.run(until=0.001)
+    src.set_active(False)
+    sim.run(until=0.1)  # idle 99 ms > idle_reset
+    src.set_active(True)
+    assert src.acr == 8.5
+
+
+def test_reactivation_after_short_idle_keeps_acr():
+    sim = Simulator()
+    src, _ = make_source(sim, params=AbrParams(idle_reset=0.05))
+    src.start()
+    for _ in range(5):
+        src.receive(backward_rm(er=150.0))
+    acr = src.acr
+    sim.run(until=0.001)
+    src.set_active(False)
+    sim.run(until=0.002)
+    src.set_active(True)
+    assert src.acr == acr
+
+
+def test_source_rejects_forward_rm_and_data():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    with pytest.raises(ValueError):
+        src.receive(RMCell(vc="A", direction=RMDirection.FORWARD))
+    with pytest.raises(TypeError):
+        src.receive(Cell(vc="A"))
+
+
+def test_source_requires_link_and_single_start():
+    sim = Simulator()
+    src = AbrSource(sim, "A")
+    with pytest.raises(RuntimeError):
+        src.start()
+    src.attach_link(Collector(sim))
+    src.start()
+    with pytest.raises(RuntimeError):
+        src.start()
+
+
+def test_acr_probe_records_changes():
+    sim = Simulator()
+    src, _ = make_source(sim)
+    src.start()
+    sim.run(until=1e-6)
+    src.receive(backward_rm(er=150.0))
+    assert src.acr_probe.values[0] == 8.5
+    assert src.acr_probe.last == pytest.approx(51.0)
+
+
+# ----------------------------------------------------------------------
+# destination
+# ----------------------------------------------------------------------
+
+def test_destination_counts_data_and_turns_rm_around():
+    sim = Simulator()
+    dest = AbrDestination(sim, "A")
+    rev = Collector(sim)
+    dest.attach_reverse(rev)
+    dest.receive(Cell(vc="A"))
+    dest.receive(Cell(vc="A"))
+    rm = RMCell(vc="A", direction=RMDirection.FORWARD, ccr=8.5, er=150.0)
+    dest.receive(rm)
+    assert dest.data_received == 2
+    assert dest.rm_received == 1
+    assert len(rev.cells) == 1
+    assert rm.direction is RMDirection.BACKWARD
+
+
+def test_destination_efci_to_ci():
+    sim = Simulator()
+    dest = AbrDestination(sim, "A", efci_to_ci=True)
+    dest.attach_reverse(Collector(sim))
+    marked = Cell(vc="A", efci=True)
+    dest.receive(marked)
+    rm = RMCell(vc="A", direction=RMDirection.FORWARD)
+    dest.receive(rm)
+    assert rm.ci is True
+    # state cleared after use
+    rm2 = RMCell(vc="A", direction=RMDirection.FORWARD)
+    dest.receive(rm2)
+    assert rm2.ci is False
+
+
+def test_destination_efci_state_follows_last_data_cell():
+    sim = Simulator()
+    dest = AbrDestination(sim, "A", efci_to_ci=True)
+    dest.attach_reverse(Collector(sim))
+    dest.receive(Cell(vc="A", efci=True))
+    dest.receive(Cell(vc="A", efci=False))  # last cell unmarked
+    rm = RMCell(vc="A", direction=RMDirection.FORWARD)
+    dest.receive(rm)
+    assert rm.ci is False
+
+
+def test_destination_efci_disabled():
+    sim = Simulator()
+    dest = AbrDestination(sim, "A", efci_to_ci=False)
+    dest.attach_reverse(Collector(sim))
+    dest.receive(Cell(vc="A", efci=True))
+    rm = RMCell(vc="A", direction=RMDirection.FORWARD)
+    dest.receive(rm)
+    assert rm.ci is False
+
+
+def test_destination_validates_input():
+    sim = Simulator()
+    dest = AbrDestination(sim, "A")
+    with pytest.raises(ValueError):
+        dest.receive(Cell(vc="B"))
+    with pytest.raises(ValueError):
+        dest.receive(RMCell(vc="A", direction=RMDirection.BACKWARD))
+    with pytest.raises(RuntimeError):
+        dest.receive(RMCell(vc="A", direction=RMDirection.FORWARD))

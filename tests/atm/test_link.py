@@ -1,0 +1,69 @@
+"""Unit tests for serializing links."""
+
+import pytest
+
+from repro.atm import Cell, Link
+from repro.sim import Simulator, units
+
+
+class Collector:
+    """Test sink recording (time, cell) deliveries."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.deliveries = []
+
+    def receive(self, cell):
+        self.deliveries.append((self.sim.now, cell))
+
+
+def test_single_cell_delivery_time():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=1e-5, sink=sink)
+    link.send(Cell(vc="A", seq=0))
+    sim.run()
+    assert len(sink.deliveries) == 1
+    t, cell = sink.deliveries[0]
+    assert t == pytest.approx(units.cell_time(150.0) + 1e-5)
+    assert cell.seq == 0
+
+
+def test_back_to_back_cells_serialized():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=0.0, sink=sink)
+    for i in range(3):
+        link.send(Cell(vc="A", seq=i))
+    sim.run()
+    times = [t for t, _ in sink.deliveries]
+    ct = units.cell_time(150.0)
+    assert times == pytest.approx([ct, 2 * ct, 3 * ct])
+    assert [c.seq for _, c in sink.deliveries] == [0, 1, 2]
+
+
+def test_cells_preserve_fifo_order_with_gaps():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=1e-4, sink=sink)
+    link.send(Cell(vc="A", seq=0))
+    sim.schedule(1e-3, link.send, Cell(vc="A", seq=1))
+    sim.run()
+    assert [c.seq for _, c in sink.deliveries] == [0, 1]
+    assert link.delivered == 2
+    assert link.queued == 0
+
+
+def test_receive_is_send_alias():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=0.0, sink=sink)
+    link.receive(Cell(vc="A"))
+    sim.run()
+    assert len(sink.deliveries) == 1
+
+
+def test_negative_propagation_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, rate_mbps=150.0, propagation=-1.0, sink=Collector(sim))

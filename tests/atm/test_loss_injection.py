@@ -1,0 +1,63 @@
+"""Failure injection: the ABR control loop must survive cell loss."""
+
+import random
+
+import pytest
+
+from repro.atm import AtmNetwork, Cell, Link
+from repro.core import PhantomAlgorithm, phantom_equilibrium_rate
+from repro.sim import Simulator
+
+from tests.atm.test_link import Collector
+
+
+def test_link_loss_rate_drops_cells():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=0.0, sink=sink,
+                loss_rate=0.5, rng=random.Random(3))
+    for i in range(1000):
+        link.send(Cell(vc="A", seq=i))
+    sim.run()
+    assert link.lost + link.delivered == 1000
+    assert 350 < link.lost < 650  # ~50%
+
+
+def test_zero_loss_by_default():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=0.0, sink=sink)
+    for i in range(100):
+        link.send(Cell(vc="A", seq=i))
+    sim.run()
+    assert link.lost == 0
+    assert link.delivered == 100
+
+
+def test_invalid_loss_rate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, 150.0, 0.0, Collector(sim), loss_rate=1.0)
+    with pytest.raises(ValueError):
+        Link(sim, 150.0, 0.0, Collector(sim), loss_rate=-0.1)
+
+
+def test_phantom_converges_despite_rm_loss():
+    """1% loss on every access link: lost RM cells delay but must not
+    break convergence — the Trm backstop regenerates the loop."""
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    a = net.add_session("A", route=["S1", "S2"])
+    b = net.add_session("B", route=["S1", "S2"])
+    # inject loss by wrapping each session's backward access link
+    for i, session in enumerate((a, b)):
+        switch = net.switches["S1"]
+        lossy = Link(net.sim, 150.0, 1e-5, session.source,
+                     loss_rate=0.01, rng=random.Random(10 + i))
+        switch._backward[session.vc] = lossy
+    net.run(until=0.4)
+    expected = phantom_equilibrium_rate(150.0, 2, 5.0)
+    assert a.source.acr == pytest.approx(expected, rel=0.2)
+    assert b.source.acr == pytest.approx(expected, rel=0.2)

@@ -1,0 +1,157 @@
+"""Integration tests: full ATM networks end to end (FIFO algorithm).
+
+These tests exercise the whole substrate — sources pacing cells through
+access links, switches, trunk ports and back — without any rate-control
+algorithm, so expected throughputs are pure link arithmetic.
+"""
+
+import pytest
+
+from repro.atm import AtmNetwork, PortAlgorithm, RMCell, RMDirection
+from repro.sim import units
+
+
+def test_single_session_end_to_end_delivery():
+    net = AtmNetwork()
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    session = net.add_session("A", route=["S1", "S2"])
+    net.run(until=0.01)
+    # ICR = 8.5 Mb/s with no feedback increase (default FIFO algorithm
+    # never grants more; ER stays at PCR so ACR actually climbs...)
+    assert session.destination.data_received > 0
+    assert session.destination.rm_received > 0
+    assert session.source.backward_rms_seen > 0
+
+
+def test_fifo_network_source_reaches_pcr():
+    # with no algorithm marking, backward RMs carry ER=PCR and CI=0,
+    # so the source climbs to PCR by additive increase
+    net = AtmNetwork()
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    session = net.add_session("A", route=["S1", "S2"])
+    net.run(until=0.02)
+    assert session.source.acr == pytest.approx(150.0)
+
+
+def test_goodput_meter_tracks_throughput():
+    net = AtmNetwork(meter_interval=1e-3)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    session = net.add_session("A", route=["S1", "S2"])
+    net.run(until=0.05)
+    # steady state: source at PCR=150, minus 1/32 RM overhead
+    data_rate = 150.0 * 31 / 32
+    assert session.rate_probe.last == pytest.approx(data_rate, rel=0.05)
+
+
+def test_two_sessions_share_trunk_fifo():
+    # without flow control both climb to PCR and overload the trunk;
+    # the shared queue must grow and split roughly evenly
+    net = AtmNetwork()
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    a = net.add_session("A", route=["S1", "S2"])
+    b = net.add_session("B", route=["S1", "S2"])
+    net.run(until=0.05)
+    trunk = net.trunk("S1", "S2")
+    assert trunk.queue_len > 100  # unbounded FIFO queue blows up
+    total = (a.destination.data_received + a.destination.rm_received
+             + b.destination.data_received + b.destination.rm_received)
+    # trunk is the bottleneck: deliveries bounded by line rate
+    assert total <= units.mbps_to_cells_per_sec(150.0) * 0.05 + 2
+
+
+def test_session_rtt_via_access_delay():
+    # backward RM round trip: 4 access-link hops + trunk hops
+    net = AtmNetwork()
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    session = net.add_session("A", route=["S1", "S2"], access_delay=1e-3)
+    net.run(until=0.0001)
+    assert session.source.backward_rms_seen == 0  # rtt > 2 ms
+    net.run(until=0.01)
+    assert session.source.backward_rms_seen > 0
+
+
+def test_parking_lot_routes():
+    net = AtmNetwork()
+    for name in ("S1", "S2", "S3"):
+        net.add_switch(name)
+    net.connect("S1", "S2")
+    net.connect("S2", "S3")
+    long = net.add_session("L", route=["S1", "S2", "S3"])
+    short = net.add_session("X", route=["S2", "S3"])
+    net.run(until=0.01)
+    assert long.destination.data_received > 0
+    assert short.destination.data_received > 0
+
+
+def test_start_time_staggers_sessions():
+    net = AtmNetwork()
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    a = net.add_session("A", route=["S1", "S2"])
+    b = net.add_session("B", route=["S1", "S2"], start=0.02)
+    net.run(until=0.01)
+    assert a.destination.data_received > 0
+    assert b.destination.data_received == 0
+    net.run(until=0.04)
+    assert b.destination.data_received > 0
+
+
+def test_duplicate_names_rejected():
+    net = AtmNetwork()
+    net.add_switch("S1")
+    with pytest.raises(ValueError):
+        net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    with pytest.raises(ValueError):
+        net.connect("S1", "S2")
+    net.add_session("A", route=["S1", "S2"])
+    with pytest.raises(ValueError):
+        net.add_session("A", route=["S1", "S2"])
+    with pytest.raises(ValueError):
+        net.add_session("B", route=[])
+
+
+def test_algorithm_factory_instantiated_per_port():
+    instances = []
+
+    class Tagger(PortAlgorithm):
+        def __init__(self):
+            super().__init__()
+            instances.append(self)
+
+    net = AtmNetwork(algorithm_factory=Tagger)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.add_switch("S3")
+    net.connect("S1", "S2")
+    net.connect("S2", "S3")
+    assert len(instances) == 4  # two directed ports per trunk
+    assert len({id(i) for i in instances}) == 4
+
+
+def test_er_marking_algorithm_controls_source():
+    class CapAt20(PortAlgorithm):
+        name = "cap20"
+
+        def on_backward_rm(self, rm):
+            rm.er = min(rm.er, 20.0)
+
+    net = AtmNetwork(algorithm_factory=CapAt20)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    session = net.add_session("A", route=["S1", "S2"])
+    net.run(until=0.02)
+    assert session.source.acr == pytest.approx(20.0)

@@ -1,0 +1,50 @@
+"""Unit tests for ABR parameter validation and derived values."""
+
+import pytest
+
+from repro.atm import AbrParams, PAPER_PARAMS
+
+
+def test_paper_defaults_match_paper():
+    p = PAPER_PARAMS
+    assert p.pcr == 150.0
+    assert p.icr == 8.5
+    assert p.nrm == 32
+    assert p.air_nrm == 42.5
+    assert p.rdf == 256.0
+    assert p.tof == 2.0
+
+
+def test_tcr_is_4_24_kbps():
+    assert PAPER_PARAMS.tcr_mbps == pytest.approx(0.00424)
+
+
+def test_decrease_factor():
+    # 1 - 32/256 = 0.875
+    assert PAPER_PARAMS.decrease_factor == pytest.approx(0.875)
+
+
+def test_floor_is_max_of_mcr_tcr():
+    assert PAPER_PARAMS.floor_mbps == PAPER_PARAMS.tcr_mbps
+    p = AbrParams(mcr=1.0)
+    assert p.floor_mbps == 1.0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"pcr": 0.0},
+    {"icr": 0.0},
+    {"icr": 200.0},
+    {"mcr": -1.0},
+    {"mcr": 151.0},
+    {"nrm": 1},
+    {"air_nrm": 0.0},
+    {"rdf": 16.0},  # must exceed nrm
+])
+def test_invalid_params_rejected(kwargs):
+    with pytest.raises(ValueError):
+        AbrParams(**kwargs)
+
+
+def test_params_frozen():
+    with pytest.raises(AttributeError):
+        PAPER_PARAMS.pcr = 100.0

@@ -1,0 +1,143 @@
+"""Unit tests for output ports and the algorithm hook protocol."""
+
+import pytest
+
+from repro.atm import Cell, OutputPort, PortAlgorithm, RMCell, RMDirection
+from repro.sim import Simulator, units
+
+from tests.atm.test_link import Collector
+
+
+class RecordingAlgorithm(PortAlgorithm):
+    """Test double logging every hook invocation."""
+
+    name = "recorder"
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def on_attach(self):
+        self.calls.append(("attach", None))
+
+    def on_arrival(self, cell):
+        self.calls.append(("arrival", cell))
+
+    def on_departure(self, cell):
+        self.calls.append(("departure", cell))
+
+    def on_forward_rm(self, rm):
+        self.calls.append(("forward_rm", rm))
+
+    def on_backward_rm(self, rm):
+        self.calls.append(("backward_rm", rm))
+
+
+def make_port(sim, **kwargs):
+    sink = Collector(sim)
+    alg = RecordingAlgorithm()
+    port = OutputPort(sim, "p", rate_mbps=150.0, sink=sink,
+                      algorithm=alg, **kwargs)
+    return port, sink, alg
+
+
+def test_cells_forwarded_at_line_rate():
+    sim = Simulator()
+    port, sink, _ = make_port(sim)
+    for i in range(3):
+        port.receive(Cell(vc="A", seq=i))
+    sim.run()
+    ct = units.cell_time(150.0)
+    assert [t for t, _ in sink.deliveries] == pytest.approx([ct, 2 * ct, 3 * ct])
+    assert port.departures == 3
+    assert port.queue_len == 0
+
+
+def test_propagation_delay_added():
+    sim = Simulator()
+    sink = Collector(sim)
+    port = OutputPort(sim, "p", rate_mbps=150.0, sink=sink,
+                      propagation=5e-4)
+    port.receive(Cell(vc="A"))
+    sim.run()
+    assert sink.deliveries[0][0] == pytest.approx(
+        units.cell_time(150.0) + 5e-4)
+
+
+def test_buffer_overflow_drops_tail():
+    sim = Simulator()
+    port, sink, _ = make_port(sim, buffer_cells=2)
+    for i in range(5):
+        port.receive(Cell(vc="A", seq=i))
+    # first cell starts transmitting immediately after enqueue, so the
+    # queue holds it until the tx completes: seq 0,1 accepted, rest dropped
+    assert port.drops == 3
+    assert port.drops_by_vc == {"A": 3}
+    sim.run()
+    assert [c.seq for _, c in sink.deliveries] == [0, 1]
+
+
+def test_arrival_hook_sees_dropped_cells_too():
+    sim = Simulator()
+    port, _, alg = make_port(sim, buffer_cells=1)
+    for i in range(3):
+        port.receive(Cell(vc="A", seq=i))
+    arrivals = [c for kind, c in alg.calls if kind == "arrival"]
+    assert len(arrivals) == 3  # offered load, not accepted load
+    assert port.drops == 2
+
+
+def test_forward_rm_hook_fires_only_for_forward_rm():
+    sim = Simulator()
+    port, _, alg = make_port(sim)
+    port.receive(Cell(vc="A"))
+    port.receive(RMCell(vc="A", direction=RMDirection.FORWARD))
+    port.receive(RMCell(vc="A", direction=RMDirection.BACKWARD))
+    kinds = [kind for kind, _ in alg.calls]
+    assert kinds.count("forward_rm") == 1
+    assert kinds.count("arrival") == 3
+
+
+def test_departure_hook_and_queue_probe():
+    sim = Simulator()
+    port, _, alg = make_port(sim)
+    port.receive(Cell(vc="A", seq=0))
+    port.receive(Cell(vc="A", seq=1))
+    sim.run()
+    kinds = [kind for kind, _ in alg.calls]
+    assert kinds.count("departure") == 2
+    # queue grew to 2, drained to 0
+    assert port.queue_probe.max() == 2
+    assert port.queue_probe.last == 0
+
+
+def test_algorithm_attach_called_with_port():
+    sim = Simulator()
+    port, _, alg = make_port(sim)
+    assert alg.sim is sim
+    assert alg.port is port
+    assert alg.calls[0] == ("attach", None)
+
+
+def test_default_algorithm_is_noop_fifo():
+    sim = Simulator()
+    sink = Collector(sim)
+    port = OutputPort(sim, "p", rate_mbps=150.0, sink=sink)
+    assert port.algorithm.name == "fifo"
+    assert port.algorithm.state_vars() == {}
+    port.receive(Cell(vc="A"))
+    sim.run()
+    assert len(sink.deliveries) == 1
+
+
+def test_capacity_cells_per_sec():
+    sim = Simulator()
+    port, _, _ = make_port(sim)
+    assert port.capacity_cells_per_sec == pytest.approx(150e6 / 424)
+
+
+def test_invalid_buffer_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        OutputPort(sim, "p", rate_mbps=150.0, sink=Collector(sim),
+                   buffer_cells=0)

@@ -1,0 +1,84 @@
+"""Unit tests for switch routing and backward-RM marking."""
+
+import pytest
+
+from repro.atm import (AtmSwitch, Cell, OutputPort, RMCell, RMDirection,
+                       RoutingError)
+from repro.sim import Simulator
+
+from tests.atm.test_link import Collector
+from tests.atm.test_port import RecordingAlgorithm
+
+
+def build_switch(sim):
+    """Switch with one forward OutputPort and one backward Collector."""
+    switch = AtmSwitch(sim, "S1")
+    fwd_sink = Collector(sim)
+    bwd_sink = Collector(sim)
+    alg = RecordingAlgorithm()
+    fwd_port = OutputPort(sim, "S1->S2", rate_mbps=150.0, sink=fwd_sink,
+                          algorithm=alg)
+    switch.connect_session("A", forward=fwd_port, backward=bwd_sink)
+    return switch, fwd_port, fwd_sink, bwd_sink, alg
+
+
+def test_forward_cells_routed_to_forward_port():
+    sim = Simulator()
+    switch, _, fwd_sink, bwd_sink, _ = build_switch(sim)
+    switch.receive(Cell(vc="A"))
+    switch.receive(RMCell(vc="A", direction=RMDirection.FORWARD))
+    sim.run()
+    assert len(fwd_sink.deliveries) == 2
+    assert bwd_sink.deliveries == []
+
+
+def test_backward_rm_routed_backward_and_marked():
+    sim = Simulator()
+    switch, _, fwd_sink, bwd_sink, alg = build_switch(sim)
+    rm = RMCell(vc="A", direction=RMDirection.BACKWARD, er=150.0)
+    switch.receive(rm)
+    sim.run()
+    assert fwd_sink.deliveries == []
+    assert len(bwd_sink.deliveries) == 1
+    # the forward port's algorithm saw the backward RM (marking hook)
+    assert ("backward_rm", rm) in alg.calls
+
+
+def test_backward_rm_without_control_port_unmarked():
+    sim = Simulator()
+    switch = AtmSwitch(sim, "S")
+    fwd_sink, bwd_sink = Collector(sim), Collector(sim)
+    # forward route is a plain sink (e.g. destination access link)
+    switch.connect_session("A", forward=fwd_sink, backward=bwd_sink)
+    switch.receive(RMCell(vc="A", direction=RMDirection.BACKWARD))
+    assert len(bwd_sink.deliveries) == 1
+
+
+def test_unknown_vc_raises():
+    sim = Simulator()
+    switch, *_ = build_switch(sim)
+    with pytest.raises(RoutingError):
+        switch.receive(Cell(vc="Z"))
+    with pytest.raises(RoutingError):
+        switch.receive(RMCell(vc="Z", direction=RMDirection.BACKWARD))
+
+
+def test_duplicate_session_rejected():
+    sim = Simulator()
+    switch, *_ = build_switch(sim)
+    with pytest.raises(ValueError):
+        switch.connect_session("A", forward=Collector(sim),
+                               backward=Collector(sim))
+
+
+def test_two_sessions_isolated():
+    sim = Simulator()
+    switch = AtmSwitch(sim, "S")
+    sinks = {vc: Collector(sim) for vc in "AB"}
+    for vc, sink in sinks.items():
+        switch.connect_session(vc, forward=sink, backward=Collector(sim))
+    switch.receive(Cell(vc="A"))
+    switch.receive(Cell(vc="B"))
+    switch.receive(Cell(vc="B"))
+    assert len(sinks["A"].deliveries) == 1
+    assert len(sinks["B"].deliveries) == 2

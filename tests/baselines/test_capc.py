@@ -1,0 +1,127 @@
+"""Unit and integration tests for CAPC."""
+
+import pytest
+
+from repro.atm import AtmNetwork, Cell, OutputPort, RMCell, RMDirection
+from repro.baselines import CapcAlgorithm, CapcParams
+from repro.sim import Simulator, units
+
+
+class NullSink:
+    def receive(self, cell):
+        pass
+
+
+def make_alg(sim, params=None):
+    alg = CapcAlgorithm(params or CapcParams())
+    port = OutputPort(sim, "p", rate_mbps=150.0, sink=NullSink(),
+                      algorithm=alg)
+    return alg, port
+
+
+def test_ers_grows_multiplicatively_when_idle():
+    sim = Simulator()
+    alg, _ = make_alg(sim, CapcParams(interval=1e-3, ers_init=10.0))
+    sim.run(until=0.00301)
+    # idle: z = 0 -> growth factor min(eru, 1 + rup) = 1.1 per interval
+    assert alg.macr == pytest.approx(10.0 * 1.1 ** 3, rel=1e-6)
+
+
+def test_ers_capped_at_line_rate():
+    sim = Simulator()
+    alg, _ = make_alg(sim, CapcParams(ers_init=140.0))
+    sim.run(until=0.2)
+    assert alg.macr == 150.0
+
+
+def test_overload_shrinks_ers():
+    sim = Simulator()
+    alg, port = make_alg(sim, CapcParams(interval=1e-3, ers_init=100.0))
+    ct = units.cell_time(150.0)
+
+    def feed():  # 150 Mb/s offered: z = 1/0.9 > 1
+        port.receive(Cell(vc="A"))
+        sim.schedule(ct, feed)
+
+    sim.schedule(0.0, feed)
+    sim.run(until=0.05)
+    assert alg.macr < 100.0
+
+
+def test_er_stamped_from_ers():
+    sim = Simulator()
+    alg, _ = make_alg(sim, CapcParams(ers_init=25.0))
+    rm = RMCell(vc="A", direction=RMDirection.BACKWARD, er=150.0, ccr=50.0)
+    alg.on_backward_rm(rm)
+    assert rm.er == pytest.approx(25.0)
+    assert rm.ci is False
+
+
+def test_ci_set_for_everyone_above_queue_threshold():
+    """CAPC's binary valve is indiscriminate — the beat-down seed."""
+    sim = Simulator()
+    alg, port = make_alg(sim, CapcParams(ct=50))
+    for i in range(60):
+        port.receive(Cell(vc="X", seq=i))
+    rm_slow = RMCell(vc="A", direction=RMDirection.BACKWARD,
+                     er=150.0, ccr=0.1)
+    alg.on_backward_rm(rm_slow)
+    assert rm_slow.ci is True  # even a near-idle session gets hit
+
+
+def test_state_constant_space():
+    sim = Simulator()
+    alg, port = make_alg(sim)
+    for i in range(100):
+        port.receive(Cell(vc=f"s{i}"))
+    assert set(alg.state_vars()) == {"ers", "cells_this_interval"}
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"interval": 0.0}, {"target_utilization": 0.0},
+    {"target_utilization": 1.5}, {"rup": 0.0}, {"rdn": -1.0},
+    {"eru": 1.0}, {"erf": 1.0}, {"ct": 0}, {"ers_init": 0.0},
+])
+def test_invalid_params(kwargs):
+    with pytest.raises(ValueError):
+        CapcParams(**kwargs)
+
+
+def capc_network():
+    net = AtmNetwork(algorithm_factory=CapcAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    a = net.add_session("A", route=["S1", "S2"])
+    b = net.add_session("B", route=["S1", "S2"], start=0.030)
+    return net, a, b
+
+
+def test_capc_network_fair_and_utilized():
+    net, a, b = capc_network()
+    net.run(until=0.5)
+    rate_a = a.rate_probe.window(0.35, 0.5).mean()
+    rate_b = b.rate_probe.window(0.35, 0.5).mean()
+    # CAPC targets 90% utilisation split evenly
+    assert rate_a == pytest.approx(rate_b, rel=0.2)
+    assert rate_a + rate_b == pytest.approx(150.0 * 0.9 * 31 / 32, rel=0.2)
+
+
+def test_capc_converges_slower_than_phantom():
+    """Paper Fig. 22: CAPC's multiplicative creep takes longer to settle."""
+    from repro.core import PhantomAlgorithm
+
+    def time_to_reach(factory, fraction=0.8):
+        net = AtmNetwork(algorithm_factory=factory)
+        net.add_switch("S1")
+        net.add_switch("S2")
+        net.connect("S1", "S2")
+        a = net.add_session("A", route=["S1", "S2"])
+        net.run(until=0.5)
+        target = 100.0  # Mb/s, below both equilibria
+        for t, v in a.acr_probe:
+            if v >= target:
+                return t
+        return float("inf")
+
+    assert time_to_reach(CapcAlgorithm) > time_to_reach(PhantomAlgorithm)

@@ -1,0 +1,109 @@
+"""Unit tests for the max-min solvers."""
+
+import pytest
+
+from repro.core import max_min_allocation, phantom_allocation
+
+
+def test_single_link_equal_split():
+    rates = max_min_allocation({"l": 100.0},
+                               {"a": ["l"], "b": ["l"], "c": ["l"], "d": ["l"]})
+    assert all(r == pytest.approx(25.0) for r in rates.values())
+
+
+def test_classic_parking_lot():
+    # textbook example [BG87]: long session crosses both links
+    capacities = {"l1": 100.0, "l2": 100.0}
+    routes = {"long": ["l1", "l2"], "s1": ["l1"], "s2": ["l2"]}
+    rates = max_min_allocation(capacities, routes)
+    assert rates["long"] == pytest.approx(50.0)
+    assert rates["s1"] == pytest.approx(50.0)
+    assert rates["s2"] == pytest.approx(50.0)
+
+
+def test_unequal_bottlenecks():
+    capacities = {"thin": 30.0, "fat": 300.0}
+    routes = {"a": ["thin", "fat"], "b": ["fat"]}
+    rates = max_min_allocation(capacities, routes)
+    assert rates["a"] == pytest.approx(30.0)
+    assert rates["b"] == pytest.approx(270.0)
+
+
+def test_three_level_water_filling():
+    capacities = {"l1": 10.0, "l2": 50.0, "l3": 200.0}
+    routes = {
+        "x": ["l1", "l2", "l3"],
+        "y": ["l2", "l3"],
+        "z": ["l3"],
+    }
+    rates = max_min_allocation(capacities, routes)
+    assert rates["x"] == pytest.approx(10.0)
+    assert rates["y"] == pytest.approx(40.0)
+    assert rates["z"] == pytest.approx(150.0)
+
+
+def test_phantom_single_link_matches_equilibrium():
+    # n sessions on capacity C with factor f: each gets f*C/(n*f+1)
+    rates = phantom_allocation({"l": 150.0},
+                               {"a": ["l"], "b": ["l"]},
+                               utilization_factor=5.0)
+    expected = 5.0 * 150.0 / 11.0
+    assert rates["a"] == pytest.approx(expected)
+    assert rates["b"] == pytest.approx(expected)
+
+
+def test_phantom_approaches_classic_as_f_grows():
+    capacities = {"l1": 100.0, "l2": 100.0}
+    routes = {"long": ["l1", "l2"], "s1": ["l1"], "s2": ["l2"]}
+    classic = max_min_allocation(capacities, routes)
+    near = phantom_allocation(capacities, routes, utilization_factor=1e6)
+    for vc in routes:
+        assert near[vc] == pytest.approx(classic[vc], rel=1e-4)
+
+
+def test_phantom_leaves_headroom_on_every_link():
+    capacities = {"l": 100.0}
+    routes = {"a": ["l"]}
+    rates = phantom_allocation(capacities, routes, utilization_factor=5.0)
+    # one session: f*C/(f+1) = 500/6
+    assert rates["a"] == pytest.approx(500.0 / 6.0)
+    assert rates["a"] < 100.0
+
+
+def test_allocation_never_oversubscribes_links():
+    capacities = {"l1": 55.0, "l2": 100.0, "l3": 10.0}
+    routes = {
+        "a": ["l1", "l2"],
+        "b": ["l2", "l3"],
+        "c": ["l1"],
+        "d": ["l2"],
+        "e": ["l3", "l1"],
+    }
+    for weight in (0.0, 0.2, 1.0):
+        rates = max_min_allocation(capacities, routes, phantom_weight=weight)
+        for link, cap in capacities.items():
+            load = sum(rates[s] for s, path in routes.items() if link in path)
+            assert load <= cap + 1e-9
+
+
+@pytest.mark.parametrize("capacities,routes", [
+    ({}, {}),
+    ({"l": -1.0}, {"a": ["l"]}),
+    ({"l": 10.0}, {"a": []}),
+    ({"l": 10.0}, {"a": ["nope"]}),
+    ({"l": 10.0}, {"a": ["l", "l"]}),
+])
+def test_invalid_problems_rejected(capacities, routes):
+    with pytest.raises(ValueError):
+        max_min_allocation(capacities, routes)
+
+
+def test_negative_phantom_weight_rejected():
+    with pytest.raises(ValueError):
+        max_min_allocation({"l": 1.0}, {"a": ["l"]}, phantom_weight=-1.0)
+    with pytest.raises(ValueError):
+        phantom_allocation({"l": 1.0}, {"a": ["l"]}, utilization_factor=0.0)
+
+
+def test_no_sessions_returns_empty():
+    assert max_min_allocation({"l": 10.0}, {}) == {}

@@ -1,0 +1,106 @@
+"""MCR (minimum cell rate) support: solver, RM loop, and Phantom grant."""
+
+import pytest
+
+from repro.atm import AbrParams, AtmNetwork, OutputPort, RMCell, RMDirection
+from repro.core import (PhantomAlgorithm, PhantomParams, max_min_allocation,
+                        phantom_equilibrium_rate)
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# solver with minimums
+# ----------------------------------------------------------------------
+
+def test_minimum_pins_session_above_fair_level():
+    rates = max_min_allocation(
+        {"l": 100.0}, {"a": ["l"], "b": ["l"], "c": ["l"]},
+        minimums={"a": 50.0})
+    assert rates["a"] == pytest.approx(50.0)
+    assert rates["b"] == pytest.approx(25.0)
+    assert rates["c"] == pytest.approx(25.0)
+
+
+def test_minimum_below_fair_level_is_inactive():
+    rates = max_min_allocation(
+        {"l": 100.0}, {"a": ["l"], "b": ["l"]}, minimums={"a": 10.0})
+    assert rates["a"] == pytest.approx(50.0)
+    assert rates["b"] == pytest.approx(50.0)
+
+
+def test_cascading_minimums():
+    rates = max_min_allocation(
+        {"l": 90.0}, {"a": ["l"], "b": ["l"], "c": ["l"]},
+        minimums={"a": 60.0, "b": 20.0})
+    assert rates["a"] == pytest.approx(60.0)
+    assert rates["b"] == pytest.approx(20.0)
+    assert rates["c"] == pytest.approx(10.0)
+
+
+def test_minimums_validation():
+    with pytest.raises(ValueError):
+        max_min_allocation({"l": 10.0}, {"a": ["l"]},
+                           minimums={"zzz": 1.0})
+    with pytest.raises(ValueError):
+        max_min_allocation({"l": 10.0}, {"a": ["l"]},
+                           minimums={"a": -1.0})
+    with pytest.raises(ValueError):
+        max_min_allocation({"l": 10.0}, {"a": ["l"], "b": ["l"]},
+                           minimums={"a": 6.0, "b": 6.0})  # infeasible
+
+
+def test_minimums_with_phantom_weight():
+    rates = max_min_allocation(
+        {"l": 150.0}, {"a": ["l"], "b": ["l"]},
+        phantom_weight=0.2, minimums={"a": 100.0})
+    assert rates["a"] == pytest.approx(100.0)
+    # b shares the remaining 50 with the phantom: 50/1.2
+    assert rates["b"] == pytest.approx(50.0 / 1.2)
+
+
+# ----------------------------------------------------------------------
+# Phantom honours MCR in the ER stamp
+# ----------------------------------------------------------------------
+
+class NullSink:
+    def receive(self, cell):
+        pass
+
+
+def test_er_never_stamped_below_mcr():
+    sim = Simulator()
+    alg = PhantomAlgorithm(PhantomParams(macr_init=1.0))
+    OutputPort(sim, "p", rate_mbps=150.0, sink=NullSink(), algorithm=alg)
+    rm = RMCell(vc="A", direction=RMDirection.BACKWARD, er=150.0, mcr=20.0)
+    alg.on_backward_rm(rm)
+    assert rm.er == pytest.approx(20.0)  # grant was 5, MCR wins
+
+
+def test_mcr_session_protected_end_to_end():
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    # guaranteed session wants at least 100 of the 150
+    vip = net.add_session("vip", route=["S1", "S2"],
+                          params=AbrParams(mcr=100.0))
+    best_effort = [net.add_session(f"be{i}", route=["S1", "S2"])
+                   for i in range(3)]
+    net.run(until=0.4)
+    assert vip.source.acr >= 100.0 * 0.999
+    # best-effort sessions share what the VIP leaves
+    for session in best_effort:
+        assert session.source.acr < 30.0
+        assert session.source.acr > 3.0
+    # and the trunk is not persistently overloaded
+    assert net.trunk("S1", "S2").queue_probe.window(0.3, 0.4).mean() < 200
+
+
+def test_forward_rm_carries_mcr():
+    sim = Simulator()
+    from tests.atm.test_endsystem import Collector, make_source
+    src, sink = make_source(sim, params=AbrParams(mcr=7.0))
+    src.start()
+    sim.run(until=0.001)
+    rm = sink.cells[0][1]
+    assert rm.mcr == 7.0

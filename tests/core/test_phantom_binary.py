@@ -1,0 +1,111 @@
+"""Tests for the binary (CI/NI marking) Phantom variant."""
+
+import pytest
+
+from repro.atm import AtmNetwork, OutputPort, RMCell, RMDirection
+from repro.core import (BinaryPhantomAlgorithm, PhantomParams,
+                        phantom_equilibrium_rate)
+from repro.sim import Simulator
+
+
+class NullSink:
+    def receive(self, cell):
+        pass
+
+
+def make_alg(sim, use_ni=False, macr=10.0):
+    alg = BinaryPhantomAlgorithm(PhantomParams(macr_init=macr),
+                                 use_ni=use_ni)
+    OutputPort(sim, "p", rate_mbps=150.0, sink=NullSink(), algorithm=alg)
+    return alg
+
+
+def backward(ccr, er=150.0):
+    return RMCell(vc="A", direction=RMDirection.BACKWARD, ccr=ccr, er=er)
+
+
+def test_ci_set_only_above_grant():
+    sim = Simulator()
+    alg = make_alg(sim)  # grant = 5 * 10 = 50
+    fast, slow = backward(ccr=60.0), backward(ccr=40.0)
+    alg.on_backward_rm(fast)
+    alg.on_backward_rm(slow)
+    assert fast.ci is True
+    assert slow.ci is False
+
+
+def test_er_field_untouched():
+    sim = Simulator()
+    alg = make_alg(sim)
+    rm = backward(ccr=60.0)
+    alg.on_backward_rm(rm)
+    assert rm.er == 150.0
+
+
+def test_ni_band_below_ci_threshold():
+    sim = Simulator()
+    alg = make_alg(sim, use_ni=True)  # grant 50, NI band (40, 50]
+    in_band = backward(ccr=45.0)
+    below = backward(ccr=39.0)
+    above = backward(ccr=55.0)
+    for rm in (in_band, below, above):
+        alg.on_backward_rm(rm)
+    assert in_band.ni is True and in_band.ci is False
+    assert below.ni is False and below.ci is False
+    assert above.ci is True and above.ni is False
+
+
+def test_ni_disabled_by_default():
+    sim = Simulator()
+    alg = make_alg(sim)
+    rm = backward(ccr=45.0)
+    alg.on_backward_rm(rm)
+    assert rm.ni is False
+
+
+def test_invalid_ni_fraction_rejected():
+    with pytest.raises(ValueError):
+        BinaryPhantomAlgorithm(ni_fraction=0.0)
+    with pytest.raises(ValueError):
+        BinaryPhantomAlgorithm(ni_fraction=1.5)
+
+
+def binary_network(use_ni, air_nrm=42.5):
+    # binary feedback has no ER cap, so the additive step *is* the
+    # saw-tooth amplitude; deployments pair binary mode with a small AIR
+    from repro.atm import AbrParams
+    params = AbrParams(air_nrm=air_nrm)
+    net = AtmNetwork(
+        algorithm_factory=lambda: BinaryPhantomAlgorithm(
+            PhantomParams(), use_ni=use_ni))
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    a = net.add_session("A", route=["S1", "S2"], params=params)
+    b = net.add_session("B", route=["S1", "S2"], start=0.030, params=params)
+    return net, a, b
+
+
+@pytest.mark.parametrize("use_ni", [False, True])
+def test_binary_variant_converges_fairly(use_ni):
+    net, a, b = binary_network(use_ni)
+    net.run(until=0.4)
+    expected = phantom_equilibrium_rate(150.0, 2, 5.0)
+    rate_a = a.rate_probe.window(0.25, 0.4).mean()
+    rate_b = b.rate_probe.window(0.25, 0.4).mean()
+    # binary feedback saw-tooths around the grant; looser tolerance
+    assert rate_a == pytest.approx(rate_b, rel=0.25)
+    assert rate_a + rate_b == pytest.approx(2 * expected * 31 / 32, rel=0.3)
+
+
+def test_ni_reduces_sawtooth_amplitude():
+    """The NI band freezes sources near the grant, damping oscillation."""
+
+    def amplitude(use_ni):
+        net, a, _b = binary_network(use_ni, air_nrm=2.0)
+        net.run(until=0.4)
+        ticks = [0.25 + i * 1e-3 for i in range(150)]
+        values = a.acr_probe.resample(ticks)
+        return max(values) - min(values)
+
+    assert amplitude(True) <= amplitude(False)

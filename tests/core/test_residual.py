@@ -1,0 +1,52 @@
+"""Unit tests for the residual-bandwidth meter."""
+
+import pytest
+
+from repro.core import ResidualMeter
+from repro.sim import units
+
+
+def test_idle_interval_full_residual():
+    meter = ResidualMeter(capacity_mbps=150.0, interval=1e-3)
+    assert meter.close_interval() == pytest.approx(150.0)
+    assert meter.intervals == 1
+
+
+def test_residual_decreases_with_offered_load():
+    meter = ResidualMeter(capacity_mbps=150.0, interval=1e-3)
+    # offer 50 Mb/s worth of cells in 1 ms
+    cells = int(units.mbps_to_cells_per_sec(50.0) * 1e-3)
+    meter.count(cells)
+    residual = meter.close_interval()
+    assert residual == pytest.approx(100.0, abs=0.5)
+
+
+def test_overload_gives_negative_residual():
+    meter = ResidualMeter(capacity_mbps=150.0, interval=1e-3)
+    cells = int(units.mbps_to_cells_per_sec(300.0) * 1e-3)
+    meter.count(cells)
+    assert meter.close_interval() < -100.0
+
+
+def test_counter_resets_each_interval():
+    meter = ResidualMeter(capacity_mbps=150.0, interval=1e-3)
+    meter.count(100)
+    meter.close_interval()
+    assert meter.cells_this_interval == 0
+    assert meter.close_interval() == pytest.approx(150.0)
+
+
+def test_offered_mbps_property():
+    meter = ResidualMeter(capacity_mbps=150.0, interval=1.0)
+    meter.count(int(units.mbps_to_cells_per_sec(42.0)))
+    assert meter.offered_mbps == pytest.approx(42.0, abs=0.01)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"capacity_mbps": 0.0, "interval": 1e-3},
+    {"capacity_mbps": -1.0, "interval": 1e-3},
+    {"capacity_mbps": 150.0, "interval": 0.0},
+])
+def test_invalid_args_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ResidualMeter(**kwargs)

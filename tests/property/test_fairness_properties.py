@@ -1,0 +1,97 @@
+"""Property-based tests for the max-min solvers (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import max_min_allocation, phantom_allocation
+
+
+@st.composite
+def problems(draw):
+    """Random feasible fairness problems: links, sessions, routes."""
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    links = {f"l{i}": draw(st.floats(min_value=1.0, max_value=1000.0))
+             for i in range(n_links)}
+    n_sessions = draw(st.integers(min_value=1, max_value=8))
+    routes = {}
+    for s in range(n_sessions):
+        size = draw(st.integers(min_value=1, max_value=n_links))
+        path = draw(st.permutations(sorted(links)))[:size]
+        routes[f"s{s}"] = list(path)
+    return links, routes
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_allocation_is_feasible(problem):
+    links, routes = problem
+    rates = max_min_allocation(links, routes)
+    for link, cap in links.items():
+        load = sum(rates[s] for s, path in routes.items() if link in path)
+        assert load <= cap * (1 + 1e-9)
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_all_rates_positive_and_all_sessions_allocated(problem):
+    links, routes = problem
+    rates = max_min_allocation(links, routes)
+    assert set(rates) == set(routes)
+    assert all(r > 0 for r in rates.values())
+
+
+@given(problems())
+@settings(max_examples=200, deadline=None)
+def test_every_session_has_a_saturated_bottleneck(problem):
+    """Max-min optimality: each session crosses a saturated link where it
+    is among the top-rated sessions (else its rate could grow)."""
+    links, routes = problem
+    rates = max_min_allocation(links, routes)
+    for s, path in routes.items():
+        found = False
+        for link in path:
+            load = sum(rates[x] for x, p in routes.items() if link in p)
+            saturated = load >= links[link] * (1 - 1e-9)
+            top = all(rates[s] >= rates[x] * (1 - 1e-9)
+                      for x, p in routes.items() if link in p)
+            if saturated and top:
+                found = True
+                break
+        assert found, f"session {s} could be increased"
+
+
+@given(problems(),
+       st.floats(min_value=0.01, max_value=10.0),
+       st.floats(min_value=0.01, max_value=10.0))
+@settings(max_examples=150, deadline=None)
+def test_phantom_weight_monotone(problem, w1, w2):
+    """A heavier phantom leaves less for every real session."""
+    links, routes = problem
+    low, high = sorted((w1, w2))
+    rates_low = max_min_allocation(links, routes, phantom_weight=low)
+    rates_high = max_min_allocation(links, routes, phantom_weight=high)
+    for s in routes:
+        assert rates_high[s] <= rates_low[s] * (1 + 1e-9)
+
+
+@given(problems())
+@settings(max_examples=100, deadline=None)
+def test_phantom_converges_to_classic_for_large_f(problem):
+    links, routes = problem
+    classic = max_min_allocation(links, routes)
+    near = phantom_allocation(links, routes, utilization_factor=1e9)
+    for s in routes:
+        assert abs(near[s] - classic[s]) <= classic[s] * 1e-6
+
+
+@given(problems())
+@settings(max_examples=100, deadline=None)
+def test_single_link_sessions_split_equally(problem):
+    """Sessions with identical routes always get identical rates."""
+    links, routes = problem
+    rates = max_min_allocation(links, routes)
+    by_route = {}
+    for s, path in routes.items():
+        by_route.setdefault(frozenset(path), []).append(rates[s])
+    for values in by_route.values():
+        assert max(values) - min(values) <= max(values) * 1e-9

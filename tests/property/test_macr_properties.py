@@ -1,0 +1,75 @@
+"""Property-based tests for the MACR filter invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import MacrFilter, PhantomParams
+
+residuals = st.lists(
+    st.floats(min_value=-500.0, max_value=500.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200)
+
+params_strategy = st.builds(
+    PhantomParams,
+    alpha_inc=st.floats(min_value=0.01, max_value=1.0),
+    alpha_dec=st.floats(min_value=0.01, max_value=1.0),
+    beta=st.floats(min_value=0.01, max_value=1.0),
+    dev_margin=st.floats(min_value=0.0, max_value=4.0),
+    use_deviation=st.booleans(),
+    macr_init=st.floats(min_value=0.0, max_value=150.0))
+
+
+@given(residuals, params_strategy)
+@settings(max_examples=300, deadline=None)
+def test_macr_stays_in_range(samples, params):
+    filt = MacrFilter(150.0, params)
+    for s in samples:
+        macr = filt.update(s)
+        assert 0.0 <= macr <= 150.0
+        assert filt.dev >= 0.0
+
+
+@given(residuals, params_strategy)
+@settings(max_examples=300, deadline=None)
+def test_step_bounded_by_gain_times_error(samples, params):
+    """One update never moves MACR further than α·|Δ − MACR| (plus
+    clamping, which only shrinks the step)."""
+    filt = MacrFilter(150.0, params)
+    for s in samples:
+        before = filt.macr
+        err = s - before
+        filt.update(s)
+        bound = max(params.alpha_inc, params.alpha_dec) * abs(err)
+        assert abs(filt.macr - before) <= bound + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=150.0),
+       params_strategy)
+@settings(max_examples=200, deadline=None)
+def test_constant_input_is_approached_monotonically(target, params):
+    filt = MacrFilter(150.0, params)
+    prev_gap = abs(target - filt.macr)
+    for _ in range(50):
+        filt.update(target)
+        gap = abs(target - filt.macr)
+        assert gap <= prev_gap + 1e-9
+        prev_gap = gap
+
+
+@given(residuals)
+@settings(max_examples=200, deadline=None)
+def test_deviation_damped_filter_never_overtakes_raw_upward(samples):
+    """With identical inputs the deviation-damped filter's increases are
+    never larger than the raw filter's (damping only shrinks steps)."""
+    damped = MacrFilter(150.0, PhantomParams(macr_init=10.0))
+    raw = MacrFilter(150.0, PhantomParams(macr_init=10.0,
+                                          use_deviation=False))
+    for s in samples:
+        d_before, r_before = damped.macr, raw.macr
+        damped.update(s)
+        raw.update(s)
+        d_step = damped.macr - d_before
+        r_step = raw.macr - r_before
+        if d_before == r_before and d_step > 0 and r_step > 0:
+            assert d_step <= r_step + 1e-9

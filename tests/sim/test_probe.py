@@ -1,0 +1,96 @@
+"""Unit tests for probes."""
+
+import pytest
+
+from repro.sim import Probe, StepProbe
+
+
+def make_probe(points):
+    p = Probe("p")
+    for t, v in points:
+        p.record(t, v)
+    return p
+
+
+def test_record_and_iterate():
+    p = make_probe([(0.0, 1.0), (1.0, 2.0)])
+    assert list(p) == [(0.0, 1.0), (1.0, 2.0)]
+    assert len(p) == 2
+    assert p.last == 2.0
+
+
+def test_time_must_not_go_backwards():
+    p = make_probe([(1.0, 1.0)])
+    with pytest.raises(ValueError):
+        p.record(0.5, 2.0)
+
+
+def test_equal_times_allowed():
+    p = make_probe([(1.0, 1.0), (1.0, 2.0)])
+    assert p.values == [1.0, 2.0]
+
+
+def test_value_at_sample_and_hold():
+    p = make_probe([(0.0, 10.0), (2.0, 20.0)])
+    assert p.value_at(0.0) == 10.0
+    assert p.value_at(1.9) == 10.0
+    assert p.value_at(2.0) == 20.0
+    assert p.value_at(99.0) == 20.0
+
+
+def test_value_at_before_first_sample_raises():
+    p = make_probe([(1.0, 10.0)])
+    with pytest.raises(ValueError):
+        p.value_at(0.5)
+
+
+def test_resample():
+    p = make_probe([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+    assert p.resample([0.5, 1.5, 2.5]) == [1.0, 2.0, 3.0]
+
+
+def test_window():
+    p = make_probe([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+    w = p.window(1.0, 2.0)
+    assert list(w) == [(1.0, 2.0), (2.0, 3.0)]
+
+
+def test_minmaxmean():
+    p = make_probe([(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+    assert p.max() == 3.0
+    assert p.min() == 1.0
+    assert p.mean() == 2.0
+
+
+def test_time_average_weights_by_hold_duration():
+    # value 0 for 1s then value 10 for 3s -> mean 7.5
+    p = make_probe([(0.0, 0.0), (1.0, 10.0)])
+    assert p.time_average(end=4.0) == pytest.approx(7.5)
+
+
+def test_time_average_default_end():
+    p = make_probe([(0.0, 0.0), (1.0, 10.0), (2.0, 0.0)])
+    # 0 for 1s, 10 for 1s over span 2s -> 5
+    assert p.time_average() == pytest.approx(5.0)
+
+
+def test_time_average_truncates_to_end_before_last():
+    p = make_probe([(0.0, 0.0), (1.0, 10.0), (4.0, 99.0)])
+    assert p.time_average(end=2.0) == pytest.approx(5.0)
+
+
+def test_time_average_empty_raises():
+    with pytest.raises(ValueError):
+        Probe().time_average()
+
+
+def test_step_probe_suppresses_duplicates():
+    p = StepProbe("q")
+    p.record(0.0, 5.0)
+    p.record(1.0, 5.0)
+    p.record(2.0, 6.0)
+    p.record(3.0, 6.0)
+    assert list(p) == [(0.0, 5.0), (2.0, 6.0)]
+    # sample-and-hold semantics preserved
+    assert p.value_at(1.5) == 5.0
+    assert p.value_at(3.5) == 6.0

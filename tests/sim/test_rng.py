@@ -1,0 +1,44 @@
+"""Unit tests for named random streams."""
+
+from repro.sim import RngStreams
+
+
+def test_same_name_same_stream_object():
+    rng = RngStreams(seed=1)
+    assert rng.stream("a") is rng.stream("a")
+
+
+def test_streams_reproducible_across_instances():
+    a = RngStreams(seed=42).stream("src-0").random()
+    b = RngStreams(seed=42).stream("src-0").random()
+    assert a == b
+
+
+def test_different_names_are_independent():
+    rng = RngStreams(seed=42)
+    xs = [rng.stream("src-0").random() for _ in range(5)]
+    ys = [rng.stream("src-1").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_stream_independent_of_creation_order():
+    fwd = RngStreams(seed=7)
+    fwd.stream("a")
+    a_then = fwd.stream("b").random()
+
+    rev = RngStreams(seed=7)
+    b_only = rev.stream("b").random()
+    assert a_then == b_only
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("x").random()
+    b = RngStreams(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_contains():
+    rng = RngStreams()
+    assert "x" not in rng
+    rng.stream("x")
+    assert "x" in rng

@@ -1,0 +1,79 @@
+"""Unit tests for PeriodicTimer."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, Simulator
+
+
+def test_periodic_timer_fires_at_fixed_intervals():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 0.5, lambda t: times.append(sim.now))
+    timer.start()
+    sim.run(until=2.0)
+    assert times == [0.5, 1.0, 1.5, 2.0]
+    assert timer.ticks == 4
+
+
+def test_timer_custom_first_delay():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 1.0, lambda t: times.append(sim.now))
+    timer.start(delay=0.25)
+    sim.run(until=3.0)
+    assert times == [0.25, 1.25, 2.25]
+
+
+def test_timer_stop_from_callback():
+    sim = Simulator()
+    times = []
+
+    def cb(timer):
+        times.append(sim.now)
+        if timer.ticks == 2:
+            timer.stop()
+
+    timer = PeriodicTimer(sim, 1.0, cb)
+    timer.start()
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_timer_stop_and_restart():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 1.0, lambda t: times.append(sim.now))
+    timer.start()
+    sim.run(until=2.0)
+    timer.stop()
+    sim.run(until=5.0)
+    assert times == [1.0, 2.0]
+    timer.start()
+    sim.run(until=7.0)
+    assert times == [1.0, 2.0, 6.0, 7.0]
+
+
+def test_timer_double_start_rejected():
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 1.0, lambda t: None)
+    timer.start()
+    with pytest.raises(RuntimeError):
+        timer.start()
+
+
+def test_timer_nonpositive_interval_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda t: None)
+
+
+def test_timer_no_drift_over_many_ticks():
+    sim = Simulator()
+    times = []
+    timer = PeriodicTimer(sim, 0.001, lambda t: times.append(sim.now))
+    timer.start()
+    sim.run(until=1.0)
+    assert len(times) == 1000
+    # exact multiples, no accumulation of float error
+    assert times[999] == pytest.approx(1.0, abs=1e-12)

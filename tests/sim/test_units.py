@@ -1,0 +1,44 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.sim import units
+
+
+def test_cell_constants():
+    assert units.CELL_BYTES == 53
+    assert units.CELL_PAYLOAD_BYTES == 48
+    assert units.CELL_BITS == 424
+
+
+def test_mbps_cells_round_trip():
+    for rate in (0.00424, 8.5, 150.0):
+        cps = units.mbps_to_cells_per_sec(rate)
+        assert units.cells_per_sec_to_mbps(cps) == pytest.approx(rate)
+
+
+def test_150mbps_cell_rate():
+    # 150e6 / 424 ~= 353,773 cells/s
+    assert units.mbps_to_cells_per_sec(150.0) == pytest.approx(353773.58, rel=1e-6)
+
+
+def test_tcr_matches_paper():
+    # TCR = 10 cells/s = 4.24 Kb/s as stated in the paper
+    assert units.cells_per_sec_to_mbps(units.TCR_CELLS_PER_SEC) == pytest.approx(0.00424)
+
+
+def test_cell_time():
+    assert units.cell_time(150.0) == pytest.approx(424 / 150e6)
+    with pytest.raises(ValueError):
+        units.cell_time(0.0)
+
+
+def test_packet_time():
+    # 512 bytes at 10 Mb/s
+    assert units.packet_time(512, 10.0) == pytest.approx(512 * 8 / 10e6)
+    with pytest.raises(ValueError):
+        units.packet_time(512, -1.0)
+
+
+def test_packets_per_sec():
+    assert units.packets_per_sec(10.0, 512) == pytest.approx(10e6 / 4096)

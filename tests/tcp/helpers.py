@@ -1,0 +1,31 @@
+"""Shared test doubles for the TCP test modules."""
+
+from __future__ import annotations
+
+
+class Collector:
+    """Sink recording (time, segment) pairs."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.segments = []
+
+    def receive(self, segment):
+        self.segments.append((self.sim.now, segment))
+
+
+class Pipe:
+    """One-way wire with fixed delay and an optional drop predicate."""
+
+    def __init__(self, sim, dest, delay=0.01, drop=None):
+        self.sim = sim
+        self.dest = dest
+        self.delay = delay
+        self.drop = drop
+        self.dropped = []
+
+    def receive(self, segment):
+        if self.drop is not None and self.drop(segment):
+            self.dropped.append(segment)
+            return
+        self.sim.schedule(self.delay, self.dest.receive, segment)

@@ -1,0 +1,96 @@
+"""Unit tests for delayed ACKs."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import RenoParams, Segment, TcpRenoSource, TcpSink
+
+from tests.tcp.helpers import Collector, Pipe
+
+
+def make_sink(sim, **kwargs):
+    sink = TcpSink(sim, "a", **kwargs)
+    rev = Collector(sim)
+    sink.attach_reverse(rev)
+    return sink, rev
+
+
+def data(seq, efci=False):
+    return Segment(flow="a", seq=seq, payload=512, efci=efci)
+
+
+def test_every_second_segment_acked_immediately():
+    sim = Simulator()
+    sink, rev = make_sink(sim, delayed_ack=True)
+    sink.receive(data(0))
+    assert rev.segments == []  # first segment held
+    sink.receive(data(512))
+    assert len(rev.segments) == 1
+    assert rev.segments[0][1].ack == 1024
+
+
+def test_lone_segment_acked_after_timer():
+    sim = Simulator()
+    sink, rev = make_sink(sim, delayed_ack=True, delack_time=0.2)
+    sink.receive(data(0))
+    sim.run(until=0.19)
+    assert rev.segments == []
+    sim.run(until=0.21)
+    assert len(rev.segments) == 1
+    assert rev.segments[0][1].ack == 512
+
+
+def test_out_of_order_acked_immediately():
+    sim = Simulator()
+    sink, rev = make_sink(sim, delayed_ack=True)
+    sink.receive(data(0))      # held
+    sink.receive(data(1024))   # gap -> immediate dup-ack
+    assert len(rev.segments) == 1
+    assert rev.segments[0][1].ack == 512
+
+
+def test_duplicate_acked_immediately():
+    sim = Simulator()
+    sink, rev = make_sink(sim, delayed_ack=True)
+    sink.receive(data(0))
+    sink.receive(data(512))  # flushes
+    sink.receive(data(0))    # old duplicate -> immediate ack
+    assert len(rev.segments) == 2
+    assert rev.segments[-1][1].ack == 1024
+
+
+def test_efci_accumulates_across_held_segments():
+    sim = Simulator()
+    sink, rev = make_sink(sim, delayed_ack=True)
+    sink.receive(data(0, efci=True))
+    sink.receive(data(512, efci=False))
+    assert rev.segments[0][1].efci_echo is True
+
+
+def test_timer_cancelled_by_flush():
+    sim = Simulator()
+    sink, rev = make_sink(sim, delayed_ack=True, delack_time=0.2)
+    sink.receive(data(0))
+    sink.receive(data(512))  # immediate flush cancels the timer
+    sim.run(until=1.0)
+    assert len(rev.segments) == 1  # no spurious timer ack
+
+
+def test_invalid_delack_time():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        TcpSink(sim, "a", delack_time=0.0)
+
+
+def test_delayed_ack_end_to_end_with_reno():
+    """Reno still fills the pipe against a delaying receiver."""
+    sim = Simulator()
+    src = TcpRenoSource(sim, "a", params=RenoParams())
+    sink = TcpSink(sim, "a", delayed_ack=True)
+    src.attach_link(Pipe(sim, sink, delay=0.005))
+    sink.attach_reverse(Pipe(sim, src, delay=0.005))
+    src.start()
+    sim.run(until=2.0)
+    assert sink.bytes_received > 100 * 512
+    # roughly half as many ACKs as segments
+    assert sink.acks_sent < sink.segments_received * 0.7

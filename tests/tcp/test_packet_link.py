@@ -1,0 +1,48 @@
+"""Unit tests for packet links."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import PacketLink, Segment
+
+from tests.tcp.helpers import Collector
+
+
+def test_delivery_time_depends_on_size():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = PacketLink(sim, rate_mbps=10.0, propagation=1e-3, sink=sink)
+    link.send(Segment(flow="a", seq=0, payload=512))
+    sim.run()
+    t, _ = sink.segments[0]
+    assert t == pytest.approx(552 * 8 / 10e6 + 1e-3)
+
+
+def test_acks_transmit_faster_than_data():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = PacketLink(sim, rate_mbps=10.0, propagation=0.0, sink=sink)
+    link.send(Segment(flow="a", ack=512))  # 40 bytes
+    sim.run()
+    assert sink.segments[0][0] == pytest.approx(40 * 8 / 10e6)
+
+
+def test_serialization_order_preserved():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = PacketLink(sim, rate_mbps=10.0, propagation=0.0, sink=sink)
+    for i in range(4):
+        link.send(Segment(flow="a", seq=i * 512, payload=512))
+    sim.run()
+    seqs = [s.seq for _, s in sink.segments]
+    assert seqs == [0, 512, 1024, 1536]
+    assert link.delivered == 4
+    assert link.queued == 0
+
+
+def test_invalid_args_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PacketLink(sim, rate_mbps=0.0, propagation=0.0, sink=Collector(sim))
+    with pytest.raises(ValueError):
+        PacketLink(sim, rate_mbps=1.0, propagation=-1.0, sink=Collector(sim))

@@ -1,0 +1,136 @@
+"""Unit tests for the Section-4 router mechanisms."""
+
+import pytest
+
+from repro.core import PhantomParams
+from repro.sim import Simulator
+from repro.tcp import (PacketPort, Router, RouterPhantom, Segment,
+                       SelectiveDiscard, SelectiveEfci, SelectiveQuench,
+                       SelectiveRed)
+
+from tests.tcp.helpers import Collector
+
+
+def data(cr, flow="a", seq=0):
+    return Segment(flow=flow, seq=seq, payload=512, cr=cr)
+
+
+def make_port(sim, policy):
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=Collector(sim),
+                      policy=policy)
+    return port
+
+
+PARAMS = PhantomParams(macr_init=1.0, utilization_factor=5.0)
+# grant = 5 Mb/s at attach time
+
+
+def test_router_phantom_meter_tracks_residual():
+    sim = Simulator()
+    policy = SelectiveDiscard(params=PhantomParams(macr_init=0.0,
+                                                   interval=1e-3))
+    make_port(sim, policy)
+    sim.run(until=0.5)
+    # idle port: residual = 10 Mb/s -> MACR converges there
+    assert policy.phantom.macr == pytest.approx(10.0, rel=0.05)
+
+
+def test_selective_discard_drops_only_nonconformant():
+    sim = Simulator()
+    policy = SelectiveDiscard(params=PARAMS)
+    port = make_port(sim, policy)
+    port.receive(data(cr=6.0))   # above 5 Mb/s grant
+    port.receive(data(cr=4.0))   # conformant
+    assert port.drops == 1
+    assert policy.selective_drops == 1
+    assert port.queue_len == 1
+
+
+def test_selective_discard_spares_acks():
+    sim = Simulator()
+    policy = SelectiveDiscard(params=PARAMS)
+    port = make_port(sim, policy)
+    port.receive(Segment(flow="a", ack=512, cr=99.0))
+    assert port.drops == 0
+
+
+def test_selective_discard_buffer_still_bounds():
+    sim = Simulator()
+    policy = SelectiveDiscard(buffer_packets=2, params=PARAMS)
+    port = make_port(sim, policy)
+    for i in range(5):
+        port.receive(data(cr=1.0, seq=i * 512))
+    assert port.queue_len == 2
+    assert port.drops == 3
+    assert policy.selective_drops == 0
+
+
+def test_selective_quench_sends_quench_and_keeps_packet():
+    sim = Simulator()
+    bwd = Collector(sim)
+    policy = SelectiveQuench(params=PARAMS)
+    port = make_port(sim, policy)
+    router = Router(sim, "R")
+    router.connect_flow("a", forward=port, backward=bwd)
+    port.receive(data(cr=6.0))
+    assert port.queue_len == 1          # packet kept
+    assert policy.quenches_sent == 1
+    assert bwd.segments[0][1].is_quench
+
+
+def test_selective_quench_min_gap():
+    sim = Simulator()
+    bwd = Collector(sim)
+    policy = SelectiveQuench(params=PARAMS, min_gap=1.0)
+    port = make_port(sim, policy)
+    router = Router(sim, "R")
+    router.connect_flow("a", forward=port, backward=bwd)
+    port.receive(data(cr=6.0, seq=0))
+    port.receive(data(cr=6.0, seq=512))
+    assert policy.quenches_sent == 1
+
+
+def test_selective_efci_marks_nonconformant():
+    sim = Simulator()
+    policy = SelectiveEfci(params=PARAMS)
+    port = make_port(sim, policy)
+    fast, slow = data(cr=6.0), data(cr=4.0, seq=512)
+    port.receive(fast)
+    port.receive(slow)
+    assert fast.efci is True
+    assert slow.efci is False
+    assert policy.marked == 1
+    assert port.drops == 0
+
+
+def test_selective_red_candidates_limited():
+    sim = Simulator()
+    policy = SelectiveRed(min_th=1, max_th=2, wq=1.0, params=PARAMS)
+    port = make_port(sim, policy)
+    # drive avg above max_th with conformant packets: none dropped early
+    for i in range(10):
+        port.receive(data(cr=1.0, seq=i * 512))
+    conformant_drops = port.drops
+    # now a non-conformant packet is a candidate and must be dropped
+    port.receive(data(cr=9.0, seq=99 * 512))
+    assert conformant_drops == 0
+    assert port.drops == 1
+
+
+def test_policies_constant_space():
+    for policy in (SelectiveDiscard(params=PARAMS),
+                   SelectiveQuench(params=PARAMS),
+                   SelectiveEfci(params=PARAMS)):
+        sim = Simulator()
+        port = make_port(sim, policy)
+        baseline = len(policy.state_vars())
+        for i in range(50):
+            port.receive(data(cr=0.1, flow=f"f{i}"))
+        assert len(policy.state_vars()) == baseline
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        SelectiveDiscard(buffer_packets=0)
+    with pytest.raises(ValueError):
+        SelectiveQuench(min_gap=-1.0)

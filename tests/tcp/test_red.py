@@ -1,0 +1,104 @@
+"""Unit tests for RED."""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import PacketPort, Red, Segment
+
+from tests.tcp.helpers import Collector
+
+
+def data(seq=0, flow="a"):
+    return Segment(flow=flow, seq=seq, payload=512)
+
+
+def make_port(sim, **red_kwargs):
+    red = Red(rng=random.Random(1), **red_kwargs)
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=Collector(sim),
+                      policy=red)
+    return port, red
+
+
+def test_no_drops_below_min_threshold():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=5, max_th=15)
+    for i in range(4):
+        port.receive(data(seq=i * 512))
+    assert port.drops == 0
+    assert red.early_drops == 0
+
+
+def test_average_is_ewma_not_instantaneous():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=5, max_th=15, wq=0.002)
+    for i in range(20):
+        port.receive(data(seq=i * 512))
+    # instantaneous queue ~20, but the slow EWMA is far below min_th
+    assert port.queue_len >= 19
+    assert red.avg < 1.0
+
+
+def test_sustained_congestion_forces_drops():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=5, max_th=15, wq=0.2, max_p=0.1)
+    for i in range(300):
+        port.receive(data(seq=i * 512))
+    assert red.early_drops + red.forced_drops > 0
+    assert port.drops > 0
+
+
+def test_above_max_threshold_drops_everything():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=1, max_th=3, wq=1.0)
+    for i in range(10):
+        port.receive(data(seq=i * 512))
+    # with wq=1 avg == queue: once queue >= 3 every arrival is dropped
+    assert port.queue_len == 3
+    assert red.forced_drops == 7
+
+
+def test_physical_buffer_respected():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=50, max_th=100, buffer_packets=5)
+    for i in range(10):
+        port.receive(data(seq=i * 512))
+    assert port.queue_len == 5
+    assert red.forced_drops == 5
+
+
+def test_acks_never_dropped_early():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=1, max_th=2, wq=1.0)
+    for i in range(10):
+        port.receive(data(seq=i * 512))
+    before = port.drops
+    port.receive(Segment(flow="a", ack=512))
+    assert port.drops == before  # pure ACK not a RED candidate
+
+
+def test_idle_period_decays_average():
+    sim = Simulator()
+    port, red = make_port(sim, min_th=5, max_th=15, wq=0.5)
+    for i in range(20):
+        port.receive(data(seq=i * 512))
+    sim.run()  # drain completely; port goes idle
+    peak = red.avg
+    sim.schedule(0.05, port.receive, data(seq=999 * 512))
+    sim.run()
+    assert red.avg < peak / 2
+
+
+def test_state_constant_space():
+    red = Red()
+    assert set(red.state_vars()) == {"avg", "count"}
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"min_th": 0}, {"min_th": 10, "max_th": 5}, {"max_p": 0.0},
+    {"max_p": 1.5}, {"wq": 0.0}, {"buffer_packets": 0},
+])
+def test_invalid_params(kwargs):
+    with pytest.raises(ValueError):
+        Red(**kwargs)

@@ -1,0 +1,247 @@
+"""Unit tests for the TCP Reno sender (Stevens §21 behaviour)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import RenoParams, Segment, TcpRenoSource, TcpSink
+
+from tests.tcp.helpers import Pipe
+
+
+def loopback(sim, params=None, delay=0.005, drop=None):
+    """Source and sink joined by two fixed-delay pipes (RTT = 2*delay)."""
+    src = TcpRenoSource(sim, "a", params=params or RenoParams())
+    sink = TcpSink(sim, "a")
+    forward = Pipe(sim, sink, delay=delay, drop=drop)
+    backward = Pipe(sim, src, delay=delay)
+    src.attach_link(forward)
+    sink.attach_reverse(backward)
+    src.start()
+    return src, sink, forward
+
+
+def test_starts_with_one_segment():
+    sim = Simulator()
+    src, sink, _ = loopback(sim)
+    sim.run(until=0.001)
+    assert src.segments_sent == 1
+    assert src.cwnd == 512
+
+
+def test_slow_start_doubles_per_rtt():
+    sim = Simulator()
+    src, sink, _ = loopback(sim, delay=0.005)  # RTT 10 ms
+    # after k RTTs cwnd ~ 2^k segments
+    sim.run(until=0.045)  # ~4 RTTs delivered
+    assert src.cwnd >= 8 * 512
+    assert sink.bytes_received >= (1 + 2 + 4 + 8) * 512
+
+
+def test_congestion_avoidance_linear_growth():
+    sim = Simulator()
+    params = RenoParams(initial_ssthresh=2 * 512)
+    src, _, _ = loopback(sim, params=params, delay=0.005)
+    sim.run(until=0.105)  # ~10 RTTs
+    # slow start to 2 segments, then ~1 segment per RTT
+    cwnd_segments = src.cwnd / 512
+    assert 8 <= cwnd_segments <= 14
+
+
+def test_fast_retransmit_recovers_single_loss():
+    sim = Simulator()
+    lost = []
+
+    def drop_once(segment):
+        if segment.seq == 10 * 512 and not lost:
+            lost.append(segment.seq)
+            return True
+        return False
+
+    src, sink, _ = loopback(sim, delay=0.005, drop=drop_once)
+    sim.run(until=0.3)
+    assert lost == [10 * 512]
+    assert src.fast_retransmits == 1
+    assert src.timeouts == 0
+    assert src.retransmits == 1
+    # stream fully repaired and progressing past the hole
+    assert sink.bytes_received > 20 * 512
+
+
+def test_fast_retransmit_halves_window():
+    sim = Simulator()
+    state = {}
+
+    def drop_once(segment):
+        if segment.seq == 16 * 512 and "dropped" not in state:
+            state["dropped"] = True
+            return True
+        return False
+
+    src, _, _ = loopback(sim, delay=0.005, drop=drop_once)
+    sim.run(until=0.3)
+    # after recovery cwnd == ssthresh == ~half the pre-loss flight
+    assert src.ssthresh < 65535
+    assert src.cwnd >= src.ssthresh
+    assert src.cwnd < 64 * 512
+
+
+def test_timeout_on_total_blackout():
+    sim = Simulator()
+    blackout = {"active": True}
+
+    def drop_during_blackout(segment):
+        return blackout["active"]
+
+    params = RenoParams(rto_initial=0.1, rto_min=0.05)
+    src, sink, _ = loopback(sim, params=params, delay=0.005,
+                            drop=drop_during_blackout)
+    sim.run(until=0.3)
+    assert src.timeouts >= 1
+    assert src.cwnd == 512  # collapsed to one segment
+    blackout["active"] = False
+    sim.run(until=1.0)
+    assert sink.bytes_received > 0  # recovered after the blackout
+
+
+def test_rto_exponential_backoff():
+    sim = Simulator()
+    params = RenoParams(rto_initial=0.1, rto_min=0.05, rto_max=10.0)
+    src, _, _ = loopback(sim, params=params, delay=0.005,
+                         drop=lambda s: True)
+    sim.run(until=2.0)
+    assert src.timeouts >= 3
+    assert src.rto >= 0.4  # doubled at least twice
+
+
+def test_rtt_estimation_converges():
+    sim = Simulator()
+    src, _, _ = loopback(sim, delay=0.005)
+    sim.run(until=0.5)
+    assert src.srtt == pytest.approx(0.01, rel=0.5)
+    assert src.rto == pytest.approx(src.params.rto_min, rel=0.01)
+
+
+def test_source_quench_halves_window():
+    sim = Simulator()
+    src, _, _ = loopback(sim, delay=0.005)
+    sim.run(until=0.1)
+    before = src.cwnd
+    src.receive(Segment(flow="a", is_quench=True))
+    assert src.quenches_received == 1
+    assert src.cwnd < before
+
+
+def test_quench_guard_suppresses_bursts():
+    sim = Simulator()
+    src, _, _ = loopback(sim, delay=0.005)
+    sim.run(until=0.1)
+    src.receive(Segment(flow="a", is_quench=True))
+    after_first = src.cwnd
+    src.receive(Segment(flow="a", is_quench=True))  # same instant
+    assert src.cwnd == after_first
+    assert src.quenches_received == 2
+
+
+def test_efci_echo_freezes_growth():
+    sim = Simulator()
+    src = TcpRenoSource(sim, "a")
+    sink = TcpSink(sim, "a")
+
+    class MarkingPipe(Pipe):
+        def receive(self, segment):
+            if segment.is_data:
+                segment.efci = True
+            super().receive(segment)
+
+    src.attach_link(MarkingPipe(sim, sink, delay=0.005))
+    sink.attach_reverse(Pipe(sim, src, delay=0.005))
+    src.start()
+    sim.run(until=0.2)
+    assert src.cwnd == 512  # every ACK carried the echo: no growth
+
+
+def test_efci_ignored_when_disabled():
+    sim = Simulator()
+    params = RenoParams(respect_efci=False)
+    src = TcpRenoSource(sim, "a", params=params)
+    sink = TcpSink(sim, "a")
+
+    class MarkingPipe(Pipe):
+        def receive(self, segment):
+            if segment.is_data:
+                segment.efci = True
+            super().receive(segment)
+
+    src.attach_link(MarkingPipe(sim, sink, delay=0.005))
+    sink.attach_reverse(Pipe(sim, src, delay=0.005))
+    src.start()
+    sim.run(until=0.2)
+    assert src.cwnd > 512
+
+
+def test_cr_stamp_tracks_goodput():
+    sim = Simulator()
+    params = RenoParams(rate_interval=0.05, initial_ssthresh=8 * 512)
+    src, sink, _ = loopback(sim, params=params, delay=0.005)
+    sim.run(until=0.95)
+    before = sink.bytes_received
+    sim.run(until=1.0)
+    # CR should approximate the acked-payload rate over the last interval
+    assert src.current_rate > 0
+    recent_goodput = (sink.bytes_received - before) * 8 / 0.05 / 1e6
+    assert src.current_rate == pytest.approx(recent_goodput, rel=0.5)
+
+
+def test_data_segments_carry_cr():
+    sim = Simulator()
+    collected = []
+
+    class Tap(Pipe):
+        def receive(self, segment):
+            collected.append(segment.cr)
+            super().receive(segment)
+
+    src = TcpRenoSource(sim, "a", params=RenoParams(rate_interval=0.02))
+    sink = TcpSink(sim, "a")
+    src.attach_link(Tap(sim, sink, delay=0.005))
+    sink.attach_reverse(Pipe(sim, src, delay=0.005))
+    src.start()
+    sim.run(until=0.5)
+    assert collected[0] == 0.0       # nothing acked yet
+    assert max(collected) > 0.0      # later stamps carry the measured rate
+
+
+def test_start_time_honoured():
+    sim = Simulator()
+    src = TcpRenoSource(sim, "a", start_time=1.0)
+    sink = TcpSink(sim, "a")
+    src.attach_link(Pipe(sim, sink, delay=0.005))
+    sink.attach_reverse(Pipe(sim, src, delay=0.005))
+    src.start()
+    sim.run(until=0.9)
+    assert src.segments_sent == 0
+    sim.run(until=1.1)
+    assert src.segments_sent >= 1
+
+
+def test_lifecycle_errors():
+    sim = Simulator()
+    src = TcpRenoSource(sim, "a")
+    with pytest.raises(RuntimeError):
+        src.start()
+    src.attach_link(Pipe(sim, TcpSink(sim, "a"), delay=0.001))
+    src.start()
+    with pytest.raises(RuntimeError):
+        src.start()
+    with pytest.raises(ValueError):
+        src.receive(Segment(flow="a", seq=0, payload=512))
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"mss": 0}, {"initial_cwnd": 0}, {"dupack_threshold": 0},
+    {"rto_min": 0.0}, {"rto_min": 5.0, "rto_max": 1.0},
+    {"rate_interval": 0.0},
+])
+def test_invalid_params(kwargs):
+    with pytest.raises(ValueError):
+        RenoParams(**kwargs)

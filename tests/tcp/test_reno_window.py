@@ -1,0 +1,86 @@
+"""Additional Reno window-management tests: rwnd, flight accounting."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import RenoParams, TcpRenoSource, TcpSink
+
+from tests.tcp.helpers import Pipe
+
+
+def loopback(sim, params, delay=0.005):
+    src = TcpRenoSource(sim, "a", params=params)
+    sink = TcpSink(sim, "a")
+    src.attach_link(Pipe(sim, sink, delay=delay))
+    sink.attach_reverse(Pipe(sim, src, delay=delay))
+    src.start()
+    return src, sink
+
+
+def test_rwnd_caps_flight_size():
+    sim = Simulator()
+    params = RenoParams(rwnd=8 * 512)
+    src, _ = loopback(sim, params)
+    max_flight = 0
+
+    def watch():
+        nonlocal max_flight
+        max_flight = max(max_flight, src.flight_size)
+        sim.schedule(0.001, watch)
+
+    sim.schedule(0.0, watch)
+    sim.run(until=1.0)
+    assert max_flight <= 8 * 512
+    assert src.cwnd > 8 * 512  # cwnd grew past the cap; rwnd binds
+
+
+def test_rwnd_bounds_throughput():
+    sim = Simulator()
+    # rwnd/RTT = 8*512*8/0.01 = 3.3 Mb/s ceiling
+    src, sink = loopback(sim, RenoParams(rwnd=8 * 512), delay=0.005)
+    sim.run(until=5.0)
+    goodput = sink.bytes_received * 8 / 5.0 / 1e6
+    assert goodput == pytest.approx(8 * 512 * 8 / 0.01 / 1e6, rel=0.1)
+
+
+def test_flight_never_negative_and_una_monotone():
+    sim = Simulator()
+    src, _ = loopback(sim, RenoParams())
+    history = []
+
+    def watch():
+        history.append((src.snd_una, src.flight_size))
+        sim.schedule(0.002, watch)
+
+    sim.schedule(0.0, watch)
+    sim.run(until=0.5)
+    unas = [u for u, _ in history]
+    assert unas == sorted(unas)
+    assert all(f >= 0 for _, f in history)
+
+
+def test_segments_are_mss_sized():
+    sim = Simulator()
+    seen = []
+
+    class Tap(Pipe):
+        def receive(self, segment):
+            seen.append(segment.payload)
+            super().receive(segment)
+
+    src = TcpRenoSource(sim, "a", params=RenoParams(mss=256))
+    sink = TcpSink(sim, "a")
+    src.attach_link(Tap(sim, sink, delay=0.001))
+    sink.attach_reverse(Pipe(sim, src, delay=0.001))
+    src.start()
+    sim.run(until=0.2)
+    assert seen
+    assert set(seen) == {256}
+
+
+def test_cwnd_probe_monotone_time():
+    sim = Simulator()
+    src, _ = loopback(sim, RenoParams())
+    sim.run(until=0.5)
+    times = src.cwnd_probe.times
+    assert times == sorted(times)

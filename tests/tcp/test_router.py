@@ -1,0 +1,115 @@
+"""Unit tests for routers, ports and drop-tail."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import DropTail, PacketPort, Router, RouterError, Segment
+
+from tests.tcp.helpers import Collector
+
+
+def data(flow="a", seq=0):
+    return Segment(flow=flow, seq=seq, payload=512)
+
+
+def ack(flow="a", n=512):
+    return Segment(flow=flow, ack=n)
+
+
+def test_port_transmits_at_line_rate():
+    sim = Simulator()
+    sink = Collector(sim)
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=sink)
+    port.receive(data(seq=0))
+    port.receive(data(seq=512))
+    sim.run()
+    t1, t2 = (t for t, _ in sink.segments)
+    tx = 552 * 8 / 10e6
+    assert t1 == pytest.approx(tx)
+    assert t2 == pytest.approx(2 * tx)
+
+
+def test_drop_tail_buffer():
+    sim = Simulator()
+    sink = Collector(sim)
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=sink,
+                      policy=DropTail(2))
+    for i in range(5):
+        port.receive(data(seq=i * 512))
+    assert port.drops == 3
+    assert port.drops_by_flow == {"a": 3}
+    sim.run()
+    assert len(sink.segments) == 2
+
+
+def test_drop_tail_invalid_buffer():
+    with pytest.raises(ValueError):
+        DropTail(0)
+
+
+def test_router_routes_data_forward_acks_backward():
+    sim = Simulator()
+    fwd, bwd = Collector(sim), Collector(sim)
+    router = Router(sim, "R1")
+    router.connect_flow("a", forward=fwd, backward=bwd)
+    router.receive(data())
+    router.receive(ack())
+    assert len(fwd.segments) == 1
+    assert len(bwd.segments) == 1
+
+
+def test_router_routes_quench_backward():
+    sim = Simulator()
+    fwd, bwd = Collector(sim), Collector(sim)
+    router = Router(sim, "R1")
+    router.connect_flow("a", forward=fwd, backward=bwd)
+    router.receive(Segment(flow="a", is_quench=True))
+    assert len(fwd.segments) == 0
+    assert len(bwd.segments) == 1
+
+
+def test_router_unknown_flow_raises():
+    sim = Simulator()
+    router = Router(sim, "R1")
+    with pytest.raises(RouterError):
+        router.receive(data(flow="zzz"))
+    with pytest.raises(RouterError):
+        router.backward("zzz")
+
+
+def test_router_duplicate_flow_rejected():
+    sim = Simulator()
+    router = Router(sim, "R1")
+    router.connect_flow("a", forward=Collector(sim), backward=Collector(sim))
+    with pytest.raises(ValueError):
+        router.connect_flow("a", forward=Collector(sim),
+                            backward=Collector(sim))
+
+
+def test_port_send_toward_source_uses_router_route():
+    sim = Simulator()
+    bwd = Collector(sim)
+    router = Router(sim, "R1")
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=Collector(sim))
+    router.connect_flow("a", forward=port, backward=bwd)
+    quench = Segment(flow="a", is_quench=True)
+    port.send_toward_source("a", quench)
+    assert bwd.segments[0][1] is quench
+
+
+def test_port_without_router_cannot_quench():
+    sim = Simulator()
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=Collector(sim))
+    with pytest.raises(RuntimeError):
+        port.send_toward_source("a", Segment(flow="a", is_quench=True))
+
+
+def test_queue_probe_and_idle_tracking():
+    sim = Simulator()
+    port = PacketPort(sim, "p", rate_mbps=10.0, sink=Collector(sim))
+    assert port.idle_since == 0.0
+    port.receive(data(seq=0))
+    assert port.idle_since is None
+    sim.run()
+    assert port.idle_since == sim.now
+    assert port.queue_probe.last == 0

@@ -1,0 +1,37 @@
+"""Unit tests for the segment model."""
+
+from repro.tcp import DEFAULT_MSS, HEADER_BYTES, Segment
+
+
+def test_data_segment():
+    seg = Segment(flow="a", seq=1024, payload=512)
+    assert seg.is_data
+    assert seg.size == 512 + HEADER_BYTES == 552
+    assert seg.end_seq == 1536
+    assert not seg.is_quench
+
+
+def test_pure_ack():
+    ack = Segment(flow="a", ack=2048)
+    assert not ack.is_data
+    assert ack.size == HEADER_BYTES
+    assert ack.ack == 2048
+
+
+def test_quench_message():
+    q = Segment(flow="a", is_quench=True)
+    assert q.is_quench
+    assert not q.is_data
+
+
+def test_paper_packet_size():
+    assert DEFAULT_MSS == 512
+
+
+def test_cr_and_efci_fields():
+    seg = Segment(flow="a", seq=0, payload=512, cr=3.5)
+    assert seg.cr == 3.5
+    seg.efci = True
+    assert seg.efci
+    ack = Segment(flow="a", ack=512, efci_echo=True)
+    assert ack.efci_echo

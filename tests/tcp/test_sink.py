@@ -1,0 +1,79 @@
+"""Unit tests for the TCP receiver."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import Segment, TcpSink
+
+from tests.tcp.helpers import Collector
+
+
+def make_sink():
+    sim = Simulator()
+    sink = TcpSink(sim, "a")
+    rev = Collector(sim)
+    sink.attach_reverse(rev)
+    return sink, rev
+
+
+def data(seq, payload=512, efci=False):
+    return Segment(flow="a", seq=seq, payload=payload, efci=efci)
+
+
+def test_in_order_delivery_acks_cumulative():
+    sink, rev = make_sink()
+    sink.receive(data(0))
+    sink.receive(data(512))
+    acks = [s.ack for _, s in rev.segments]
+    assert acks == [512, 1024]
+    assert sink.bytes_received == 1024
+
+
+def test_gap_generates_duplicate_acks():
+    sink, rev = make_sink()
+    sink.receive(data(0))
+    sink.receive(data(1024))  # 512 missing
+    sink.receive(data(1536))
+    acks = [s.ack for _, s in rev.segments]
+    assert acks == [512, 512, 512]
+
+
+def test_retransmission_fills_gap_and_jumps_ack():
+    sink, rev = make_sink()
+    sink.receive(data(0))
+    sink.receive(data(1024))
+    sink.receive(data(1536))
+    sink.receive(data(512))  # the retransmission
+    assert rev.segments[-1][1].ack == 2048
+    assert sink.bytes_received == 2048
+
+
+def test_old_duplicate_counted_and_reacked():
+    sink, rev = make_sink()
+    sink.receive(data(0))
+    sink.receive(data(0))
+    assert sink.duplicates == 1
+    assert [s.ack for _, s in rev.segments] == [512, 512]
+
+
+def test_efci_echoed_per_segment():
+    sink, rev = make_sink()
+    sink.receive(data(0, efci=True))
+    sink.receive(data(512, efci=False))
+    echoes = [s.efci_echo for _, s in rev.segments]
+    assert echoes == [True, False]
+
+
+def test_sink_validates_input():
+    sink, _ = make_sink()
+    with pytest.raises(ValueError):
+        sink.receive(Segment(flow="b", seq=0, payload=512))
+    with pytest.raises(ValueError):
+        sink.receive(Segment(flow="a", ack=512))
+
+
+def test_sink_requires_reverse_link():
+    sim = Simulator()
+    sink = TcpSink(sim, "a")
+    with pytest.raises(RuntimeError):
+        sink.receive(data(0))

@@ -1,0 +1,142 @@
+"""Unit tests for TCP Tahoe and Vegas senders."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.tcp import (RenoParams, TcpSink, TcpTahoeSource, TcpVegasSource,
+                       VegasParams)
+
+from tests.tcp.helpers import Pipe
+
+
+def loopback(sim, source_class, params=None, delay=0.005, drop=None):
+    src = source_class(sim, "a", params=params or RenoParams())
+    sink = TcpSink(sim, "a")
+    src.attach_link(Pipe(sim, sink, delay=delay, drop=drop))
+    sink.attach_reverse(Pipe(sim, src, delay=delay))
+    src.start()
+    return src, sink
+
+
+# ----------------------------------------------------------------------
+# Tahoe
+# ----------------------------------------------------------------------
+
+def test_tahoe_fast_retransmit_collapses_to_one_segment():
+    sim = Simulator()
+    state = {}
+
+    def drop_once(segment):
+        if segment.seq == 10 * 512 and "d" not in state:
+            state["d"] = True
+            return True
+        return False
+
+    src, sink = loopback(sim, TcpTahoeSource, drop=drop_once)
+    sim.run(until=0.5)
+    assert src.fast_retransmits == 1
+    # Tahoe restarts from 1 segment (Reno would sit at ssthresh+3mss):
+    # the cwnd trace must collapse to exactly one MSS after the loss
+    post_loss = [v for t, v in src.cwnd_probe if t > 0.02]
+    assert min(post_loss) == 512
+    assert sink.bytes_received > 20 * 512  # recovered and progressing
+
+
+def test_tahoe_slower_than_reno_after_loss():
+    from repro.tcp import TcpRenoSource
+
+    def run(source_class):
+        sim = Simulator()
+        state = {}
+
+        def drop_once(segment):
+            if segment.seq == 10 * 512 and "d" not in state:
+                state["d"] = True
+                return True
+            return False
+
+        src, sink = loopback(sim, source_class, drop=drop_once)
+        sim.run(until=0.4)
+        return sink.bytes_received
+
+    assert run(TcpTahoeSource) <= run(TcpRenoSource)
+
+
+# ----------------------------------------------------------------------
+# Vegas
+# ----------------------------------------------------------------------
+
+def test_vegas_params_validation():
+    with pytest.raises(ValueError):
+        VegasParams(vegas_alpha=0.0)
+    with pytest.raises(ValueError):
+        VegasParams(vegas_alpha=5.0, vegas_beta=2.0)
+    with pytest.raises(ValueError):
+        VegasParams(vegas_gamma=0.0)
+
+
+def test_vegas_accepts_base_reno_params():
+    sim = Simulator()
+    src = TcpVegasSource(sim, "a", params=RenoParams(mss=256))
+    assert isinstance(src.params, VegasParams)
+    assert src.params.mss == 256
+    assert src.params.vegas_alpha == 2.0
+
+
+def test_vegas_tracks_base_rtt():
+    sim = Simulator()
+    src, _ = loopback(sim, TcpVegasSource, delay=0.005)
+    sim.run(until=0.5)
+    assert src.base_rtt == pytest.approx(0.01, rel=0.2)
+
+
+def test_vegas_holds_window_inside_band():
+    """On an uncongested path the backlog stays below alpha and the
+    window grows; Vegas never grows past the point where diff > beta."""
+    sim = Simulator()
+    src, sink = loopback(sim, TcpVegasSource, delay=0.005)
+    sim.run(until=2.0)
+    diff = src.backlog_segments()
+    assert diff is not None
+    # with fixed-delay pipes there is no queueing: RTT == BaseRTT, so
+    # diff ~ 0 and Vegas keeps increasing linearly (no loss to stop it)
+    assert diff < src.params.vegas_beta + 1
+    assert sink.bytes_received > 0
+
+
+def test_vegas_backs_off_when_rtt_inflates():
+    """Growing RTT (standing queue) must push Vegas' window down."""
+    sim = Simulator()
+
+    class InflatingPipe(Pipe):
+        def receive(self, segment):
+            # delay grows with time: emulates a filling queue
+            self.delay = 0.005 + sim.now * 0.01
+            super().receive(segment)
+
+    src = TcpVegasSource(sim, "a")
+    sink = TcpSink(sim, "a")
+    src.attach_link(InflatingPipe(sim, sink, delay=0.005))
+    sink.attach_reverse(Pipe(sim, src, delay=0.005))
+    src.start()
+    sim.run(until=1.0)
+    peak = max(src.cwnd_probe.values)
+    assert src.cwnd < peak  # it reduced from its peak
+    # Vegas steers the backlog back toward the band from above
+    assert src.backlog_segments() > src.params.vegas_alpha
+
+
+def test_vegas_keeps_reno_loss_recovery():
+    sim = Simulator()
+    state = {}
+
+    def drop_once(segment):
+        if segment.seq == 8 * 512 and "d" not in state:
+            state["d"] = True
+            return True
+        return False
+
+    src, sink = loopback(sim, TcpVegasSource, drop=drop_once)
+    sim.run(until=1.0)
+    assert src.fast_retransmits + src.timeouts >= 1
+    assert sink.bytes_received > 10 * 512

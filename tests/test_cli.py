@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "phantom" in out
+    assert "selective-discard" in out
+    assert "staggered" in out
+
+
+def test_atm_staggered_phantom(capsys):
+    assert main(["atm", "--scenario", "staggered",
+                 "--algorithm", "phantom", "--duration", "0.15"]) == 0
+    out = capsys.readouterr().out
+    assert "Jain index" in out
+    assert "MACR" in out
+    assert "utilisation" in out
+
+
+def test_atm_sessions_flag(capsys):
+    assert main(["atm", "--scenario", "staggered", "--sessions", "3",
+                 "--duration", "0.15"]) == 0
+    out = capsys.readouterr().out
+    assert "s2" in out
+
+
+def test_atm_baseline_algorithm(capsys):
+    assert main(["atm", "--scenario", "staggered",
+                 "--algorithm", "capc", "--duration", "0.15"]) == 0
+    assert "Jain" in capsys.readouterr().out
+
+
+def test_tcp_selective_discard(capsys):
+    assert main(["tcp", "--scenario", "many",
+                 "--policy", "selective-discard",
+                 "--duration", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "goodput" in out
+    assert "bottleneck q" in out
+
+
+def test_maxmin_classic(capsys):
+    assert main(["maxmin", "--link", "l1=100", "--link", "l2=100",
+                 "--session", "long=l1,l2", "--session", "s1=l1",
+                 "--session", "s2=l2"]) == 0
+    out = capsys.readouterr().out
+    assert "classic max-min" in out
+    assert "50.00" in out
+
+
+def test_maxmin_phantom_factor(capsys):
+    assert main(["maxmin", "--link", "l=150",
+                 "--session", "a=l", "--session", "b=l",
+                 "--factor", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "phantom max-min (f=5.0)" in out
+    assert "68.18" in out
+
+
+def test_maxmin_bad_spec():
+    with pytest.raises(SystemExit):
+        main(["maxmin", "--link", "nonsense", "--session", "a=l"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

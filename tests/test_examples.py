@@ -1,0 +1,52 @@
+"""Smoke tests for the runnable examples (fast, reduced configurations)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES))
+    # examples are scripts, not a package: purge between imports
+    for name in ("make_figures",):
+        sys.modules.pop(name, None)
+
+
+def test_make_figures_writes_csvs(tmp_path, capsys):
+    import make_figures
+    rc = make_figures.main([
+        "--outdir", str(tmp_path), "--duration", "0.05",
+        "--scenario", "staggered", "--algorithm", "phantom",
+    ])
+    assert rc == 0
+    csv = tmp_path / "staggered-phantom.csv"
+    assert csv.exists()
+    lines = csv.read_text().splitlines()
+    assert lines[0].startswith("time,")
+    assert "macr" in lines[0]
+    assert len(lines) > 100
+
+
+def test_make_figures_all_algorithms_one_scenario(tmp_path):
+    import make_figures
+    rc = make_figures.main([
+        "--outdir", str(tmp_path), "--duration", "0.05",
+        "--scenario", "rtt",
+    ])
+    assert rc == 0
+    assert len(list(tmp_path.glob("rtt-*.csv"))) == len(
+        make_figures.ALGORITHMS)
+
+
+def test_example_files_present_and_executable_syntax():
+    expected = {"quickstart.py", "atm_fairness.py",
+                "tcp_selective_discard.py", "algorithm_shootout.py",
+                "abr_guarantees.py", "make_figures.py"}
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        compile((EXAMPLES / name).read_text(), name, "exec")
