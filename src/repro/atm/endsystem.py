@@ -63,7 +63,9 @@ class AbrSource(CellSink):
     def _set_acr(self, value: float) -> None:
         value = min(value, self.params.pcr)
         value = max(value, self.params.floor_mbps)
-        if value != self._acr:
+        # exact compare on purpose: suppress no-op updates so the ACR
+        # probe records changes only (not an arithmetic tolerance check)
+        if value != self._acr:  # lint: disable=FLT001
             self._acr = value
             self.acr_probe.record(self.sim.now, value)
             self._maybe_reschedule()
@@ -78,7 +80,10 @@ class AbrSource(CellSink):
         if self.link is None:
             raise RuntimeError(f"source {self.vc} has no link attached")
         self.started = True
-        self.sim.schedule_at(max(self.start_time, self.sim.now), self._begin)
+        # fire-and-forget: a started source is never unstarted, so the
+        # begin event needs no handle (pausing goes through set_active)
+        self.sim.schedule_at(  # lint: disable=SIM002
+            max(self.start_time, self.sim.now), self._begin)
 
     def _begin(self) -> None:
         self.acr_probe.record(self.sim.now, self._acr)

@@ -27,7 +27,7 @@ from repro.atm.link import CellSink, Link
 from repro.atm.params import AbrParams, PAPER_PARAMS
 from repro.atm.port import OutputPort, PortAlgorithm
 from repro.atm.switch import AtmSwitch
-from repro.sim import PeriodicTimer, Probe, Simulator, units
+from repro.sim import PeriodicTimer, Probe, RngStreams, Simulator, units
 
 #: Paper default: "negligible RTT" links of 0.01 ms.
 DEFAULT_PROP_DELAY = 1e-5
@@ -70,8 +70,12 @@ class AtmNetwork:
                  access_delay: float = DEFAULT_PROP_DELAY,
                  buffer_cells: int | None = None,
                  meter_interval: float = 1e-3,
-                 sim: Simulator | None = None):
+                 sim: Simulator | None = None,
+                 seed: int = 0):
         self.sim = sim or Simulator()
+        #: Named random streams for stochastic traffic (VBR etc.), so each
+        #: stream's sample path is independent of creation order.
+        self.rng = RngStreams(seed)
         self.algorithm_factory = algorithm_factory or PortAlgorithm
         self.link_rate = link_rate
         self.trunk_delay = trunk_delay
@@ -213,10 +217,15 @@ class AtmNetwork:
                 peak_mbps: float, mean_on: float, mean_off: float,
                 seed: int = 0, start: float = 0.0,
                 stop: float | None = None) -> BackgroundSink:
-        """Add an on/off guaranteed (priority-0) stream."""
-        import random
+        """Add an on/off guaranteed (priority-0) stream.
+
+        The on/off process draws from the network's :class:`RngStreams`
+        under a name derived from ``vc`` and ``seed``, so every VBR
+        stream is reproducible and independent of creation order.
+        """
         source = VbrSource(self.sim, vc, peak_mbps, mean_on, mean_off,
-                           rng=random.Random(seed), start=start, stop=stop)
+                           rng=self.rng.stream(f"vbr.{vc}.{seed}"),
+                           start=start, stop=stop)
         return self._wire_background(vc, route, source)
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.baselines import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
                              EricaAlgorithm)
 from repro.core import (BinaryPhantomAlgorithm, PhantomAlgorithm,
                         max_min_allocation)
+from repro.lint import cli as lint_cli
 from repro.scenarios import (drop_tail_policy, many_flows, mixed_stacks,
                              on_off, parking_lot, rtt_fairness, rtt_spread,
                              selective_discard_policy, selective_efci_policy,
@@ -140,6 +141,11 @@ def _cmd_maxmin(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return lint_cli.run(args.paths, fmt=args.fmt, select=args.select,
+                        ignore=args.ignore, list_rules=args.list_rules)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -176,6 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
     maxmin.add_argument("--factor", type=float, default=None,
                         help="utilization factor; omit for classic max-min")
     maxmin.set_defaults(fn=_cmd_maxmin)
+
+    lint = sub.add_parser(
+        "lint", help="statically check determinism, unit-safety, and "
+                     "sim-API invariants (see docs/LINTING.md)")
+    lint_cli.add_arguments(lint)
+    lint.set_defaults(fn=_cmd_lint)
     return parser
 
 

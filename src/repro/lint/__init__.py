@@ -1,0 +1,42 @@
+"""``repro.lint`` — domain-specific static analysis for this repository.
+
+The simulation engine promises that every run is fully deterministic
+(:mod:`repro.sim.engine`), the unit conventions live in one audited module
+(:mod:`repro.sim.units`), and the scheduler API has sharp edges
+(``run()`` is not reentrant, ``Event`` handles must be kept to be
+cancellable).  None of that is enforced by Python itself, so this package
+provides an AST-based linter with Phantom-specific rules:
+
+* **DET*** — determinism: no global ``random.*`` state, no wall-clock or
+  environment reads, no iteration over unordered sets in scheduling code,
+  no function-local imports of nondeterminism-prone modules;
+* **UNT*** — unit safety: no arithmetic across different unit suffixes
+  without going through :mod:`repro.sim.units`, no millisecond-looking
+  literals handed to the scheduler;
+* **FLT*** / **SIM*** — sim-API hygiene: no brittle float equality, no
+  ``run()`` from inside an event callback, no discarded ``schedule()``
+  handles in classes that cancel events.
+
+Run it as ``python -m repro.lint src tests`` (or ``python -m repro lint``).
+Findings can be suppressed per line with ``# lint: disable=<ID>`` or per
+file with ``# lint: disable-file=<ID>``; see ``docs/LINTING.md``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.cli import main
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules, get_rule, register
+from repro.lint.runner import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

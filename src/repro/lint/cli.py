@@ -1,0 +1,72 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import lint_paths
+
+
+def _split_ids(value: str) -> list[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options (shared with ``python -m repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)")
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="fmt", help="report format")
+    parser.add_argument(
+        "--select", type=_split_ids, default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--ignore", type=_split_ids, default=None, metavar="IDS",
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit")
+
+
+def run(paths: Sequence[str], fmt: str = "text",
+        select: Sequence[str] | None = None,
+        ignore: Sequence[str] | None = None,
+        list_rules: bool = False) -> int:
+    """Execute a lint run; returns the process exit code."""
+    if list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  [{rule.severity}]  {rule.summary}")
+        return 0
+    known = {rule.id for rule in all_rules()}
+    for flag, ids in (("--select", select), ("--ignore", ignore)):
+        unknown = sorted({i.upper() for i in ids or ()} - known)
+        if unknown:
+            # a typo'd id would otherwise silently run zero rules
+            print(f"repro.lint: unknown rule id(s) for {flag}: "
+                  f"{', '.join(unknown)} (see --list-rules)")
+            return 2
+    try:
+        findings, files_checked = lint_paths(paths, select=select,
+                                             ignore=ignore)
+    except FileNotFoundError as exc:
+        print(f"repro.lint: no such file or directory: {exc}")
+        return 2
+    renderer = render_json if fmt == "json" else render_text
+    print(renderer(findings, files_checked))
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Static analysis for determinism, unit-safety, and "
+                    "sim-API invariants")
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(args.paths, fmt=args.fmt, select=args.select,
+               ignore=args.ignore, list_rules=args.list_rules)

@@ -1,0 +1,66 @@
+"""Inline suppression pragmas.
+
+A finding on line *n* is suppressed when line *n* carries a comment of
+the form::
+
+    something()  # lint: disable=DET001
+    other()      # lint: disable=DET001,FLT001 -- why this is fine
+
+and a whole file opts out of a rule with a comment anywhere in it (by
+convention at the top)::
+
+    # lint: disable-file=UNT001
+
+``disable=all`` suppresses every rule on that line.  Comments are found
+with :mod:`tokenize`, so pragma-looking text inside string literals is
+ignored.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: Wildcard accepted in a pragma id list.
+ALL = "all"
+
+
+class Suppressions:
+    """Parsed suppression pragmas for one source file."""
+
+    def __init__(self, source: str):
+        self.line_ids: dict[int, set[str]] = {}
+        self.file_ids: set[str] = set()
+        self._scan(source)
+
+    def _scan(self, source: str) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = _PRAGMA_RE.search(tok.string)
+                if match is None:
+                    continue
+                ids = {part.strip().lower()
+                       for part in match.group("ids").split(",")}
+                if match.group("scope"):
+                    self.file_ids |= ids
+                else:
+                    self.line_ids.setdefault(tok.start[0], set()).update(ids)
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # An unparseable file is reported separately (LNT000); pragma
+            # scanning must never crash the run.
+            pass
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rid = rule_id.lower()
+        if rid in self.file_ids or ALL in self.file_ids:
+            return True
+        ids = self.line_ids.get(line, ())
+        return rid in ids or ALL in ids

@@ -1,0 +1,3 @@
+"""Built-in rule modules; importing this package registers every rule."""
+
+from repro.lint.rules import determinism, simapi, units  # noqa: F401

@@ -118,6 +118,8 @@ class StepProbe(Probe):
     """
 
     def record(self, time: float, value: float) -> None:
-        if self.values and self.values[-1] == value:
+        # exact compare on purpose: dedup drops bit-identical repeats
+        # only — any numeric change, however small, must be recorded
+        if self.values and self.values[-1] == value:  # lint: disable=FLT001
             return
         super().record(time, value)

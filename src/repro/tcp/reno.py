@@ -134,7 +134,10 @@ class TcpRenoSource(PacketSink):
         if self.link is None:
             raise RuntimeError(f"flow {self.flow} has no link attached")
         self.started = True
-        self.sim.schedule_at(max(self.start_time, self.sim.now), self._begin)
+        # fire-and-forget: a started flow is never unstarted, so the
+        # begin event needs no handle (the RTO timer is what we cancel)
+        self.sim.schedule_at(  # lint: disable=SIM002
+            max(self.start_time, self.sim.now), self._begin)
 
     def _begin(self) -> None:
         self.cwnd_probe.record(self.sim.now, self.cwnd)

@@ -1,0 +1,21 @@
+"""DET001 fixture: draws from the process-global random generator.
+
+Never imported — only parsed by the lint tests.  Lines carrying the
+violation marker comment must be flagged; pragma'd twins must not be.
+"""
+
+import random
+
+from random import uniform  # violation
+
+
+def jitter() -> float:
+    return random.random()  # violation
+
+
+def jitter_suppressed() -> float:
+    return random.random()  # lint: disable=DET001
+
+
+def seeded_ok() -> float:
+    return random.Random(42).random()

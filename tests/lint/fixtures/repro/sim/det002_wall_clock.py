@@ -1,0 +1,24 @@
+"""DET002 fixture: wall-clock and environment reads."""
+
+import os
+import time
+
+
+def stamp() -> float:
+    return time.time()  # violation
+
+
+def configured() -> str:
+    return os.environ["REPRO_MODE"]  # violation
+
+
+def getenv_read() -> str:
+    return os.getenv("REPRO_MODE", "")  # violation
+
+
+def stamp_suppressed() -> float:
+    return time.time()  # lint: disable=DET002
+
+
+def sim_time_ok(sim) -> float:
+    return sim.now

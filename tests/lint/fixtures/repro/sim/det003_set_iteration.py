@@ -1,0 +1,18 @@
+"""DET003 fixture: set iteration in a file that schedules events."""
+
+
+def broadcast(sim, sessions):
+    for vc in set(sessions):  # violation
+        sim.schedule(0.001, vc.notify)
+    delays = [d for d in {0.1, 0.2}]  # violation
+    return delays
+
+
+def broadcast_suppressed(sim, sessions):
+    for vc in set(sessions):  # lint: disable=DET003
+        sim.schedule(0.001, vc.notify)
+
+
+def broadcast_ok(sim, sessions):
+    for vc in sorted(set(sessions)):
+        sim.schedule(0.001, vc.notify)

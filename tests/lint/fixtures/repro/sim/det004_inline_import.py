@@ -1,0 +1,21 @@
+"""DET004 fixture: function-local imports of nondeterminism sources."""
+
+
+def make_stream(seed: int):
+    import random  # violation
+    return random.Random(seed)
+
+
+def read_clock():
+    from time import time  # violation
+    return time()
+
+
+def make_stream_suppressed(seed: int):
+    import random  # lint: disable=DET004
+    return random.Random(seed)
+
+
+def harmless_local_import():
+    import math
+    return math.pi

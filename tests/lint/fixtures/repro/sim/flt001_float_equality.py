@@ -1,0 +1,23 @@
+"""FLT001 fixture: brittle float equality."""
+
+
+class Meter:
+    interval: float = 0.1
+
+    def __init__(self):
+        self.acr: float = 8.5
+
+    def literal_compare(self, value) -> bool:
+        return value == 0.5  # violation
+
+    def annotated_arg(self, rate: float) -> bool:
+        return rate != self.acr  # violation
+
+    def attr_compare(self) -> bool:
+        return self.interval == self.acr  # violation
+
+    def suppressed(self, value) -> bool:
+        return value == 0.5  # lint: disable=FLT001
+
+    def int_compare_ok(self, count: int) -> bool:
+        return count == 0

@@ -1,0 +1,19 @@
+"""SIM001 fixture: Simulator.run() called from inside an event callback."""
+
+
+class Nested:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self):
+        self.sim.schedule(1.0, self._on_fire)
+        self.sim.schedule(2.0, self._on_fire_suppressed)
+
+    def _on_fire(self):
+        self.sim.run(until=5.0)  # violation
+
+    def _on_fire_suppressed(self):
+        self.sim.run(until=5.0)  # lint: disable=SIM001
+
+    def stop_ok(self):
+        self.sim.stop()

@@ -1,0 +1,30 @@
+"""SIM002 fixture: discarded schedule() handle in a cancelling class."""
+
+
+class Pacer:
+    def __init__(self, sim):
+        self.sim = sim
+        self._pending = None
+
+    def start(self):
+        self.sim.schedule(1.0, self.fire)  # violation
+
+    def start_suppressed(self):
+        self.sim.schedule(1.0, self.fire)  # lint: disable=SIM002
+
+    def arm_ok(self):
+        self._pending = self.sim.schedule(1.0, self.fire)
+
+    def pause(self):
+        if self._pending is not None:
+            self._pending.cancel()
+
+
+class FireAndForget:
+    """No cancel() anywhere, so discarding the handle is fine."""
+
+    def __init__(self, sim):
+        self.sim = sim
+
+    def start(self):
+        self.sim.schedule(1.0, print)

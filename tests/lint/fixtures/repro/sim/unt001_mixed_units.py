@@ -1,0 +1,22 @@
+"""UNT001 fixture: arithmetic across different unit suffixes."""
+
+
+def bad_sum(delay_ms: float, interval_s: float) -> float:
+    return delay_ms + interval_s  # violation
+
+
+def bad_compare(rate_mbps: float, backlog_cells: float) -> bool:
+    return rate_mbps > backlog_cells  # violation
+
+
+def bad_sum_suppressed(delay_ms: float, interval_s: float) -> float:
+    return delay_ms + interval_s  # lint: disable=UNT001
+
+
+def same_unit_ok(start_s: float, stop_s: float) -> float:
+    return stop_s - start_s
+
+
+def converted_ok(delay_ms: float, interval_s: float) -> float:
+    delay_s = delay_ms / 1e3
+    return delay_s + interval_s

@@ -1,0 +1,15 @@
+"""UNT002 fixture: millisecond-looking literals handed to the scheduler."""
+
+
+def arm(sim, fn):
+    sim.schedule(5000, fn)  # violation
+    sim.schedule_at(time=2500.0, fn=fn)  # violation
+
+
+def arm_suppressed(sim, fn):
+    sim.schedule(5000, fn)  # lint: disable=UNT002
+
+
+def arm_ok(sim, fn):
+    sim.schedule(0.005, fn)
+    sim.schedule_at(2.5, fn)

@@ -1,0 +1,49 @@
+"""DET001–DET004: determinism rules, one fixture each."""
+
+from tests.lint.helpers import (assert_rule_matches_fixture, lint_fixture,
+                                lint_snippet)
+
+
+def test_det001_global_random_flagged_and_suppressible():
+    assert_rule_matches_fixture("DET001", "det001_global_random.py")
+
+
+def test_det001_ignores_files_outside_repro():
+    source = "import random\nx = random.random()\n"
+    findings = [f for f in lint_snippet(source, path="tests/conftest.py")
+                if f.rule_id == "DET001"]
+    assert findings == []
+
+
+def test_det002_wall_clock_flagged_and_suppressible():
+    assert_rule_matches_fixture("DET002", "det002_wall_clock.py")
+
+
+def test_det002_flags_datetime_now_inline():
+    source = ("import datetime\n"
+              "def stamp():\n"
+              "    return datetime.datetime.now()\n")
+    findings = [f for f in lint_snippet(source) if f.rule_id == "DET002"]
+    assert [f.line for f in findings] == [3]
+
+
+def test_det003_set_iteration_flagged_and_suppressible():
+    assert_rule_matches_fixture("DET003", "det003_set_iteration.py")
+
+
+def test_det003_inactive_without_scheduling():
+    source = "def f(xs):\n    return [x for x in set(xs)]\n"
+    assert [f for f in lint_snippet(source) if f.rule_id == "DET003"] == []
+
+
+def test_det004_inline_import_flagged_and_suppressible():
+    assert_rule_matches_fixture("DET004", "det004_inline_import.py")
+
+
+def test_findings_carry_rule_metadata():
+    findings = lint_fixture("det001_global_random.py", "DET001")
+    assert findings, "fixture must produce findings"
+    for finding in findings:
+        assert finding.path.endswith("det001_global_random.py")
+        assert finding.col >= 1
+        assert "random" in finding.message

@@ -1,0 +1,33 @@
+"""UNT001/UNT002: unit-safety rules."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_unt001_mixed_units_flagged_and_suppressible():
+    assert_rule_matches_fixture("UNT001", "unt001_mixed_units.py")
+
+
+def test_unt001_multiplication_is_a_conversion_not_a_mix():
+    # rate * time is how conversions are written; only +/- and
+    # comparisons across units are suspect
+    source = ("def f(rate_mbps: float, window_s: float) -> float:\n"
+              "    return rate_mbps * window_s\n")
+    assert [f for f in lint_snippet(source) if f.rule_id == "UNT001"] == []
+
+
+def test_unt001_suffix_matching_is_longest_first():
+    # `_mbps` must not be parsed as "ends in _s"
+    source = ("def f(a_mbps: float, b_mbps: float) -> float:\n"
+              "    return a_mbps + b_mbps\n")
+    assert [f for f in lint_snippet(source) if f.rule_id == "UNT001"] == []
+
+
+def test_unt002_ms_literal_flagged_and_suppressible():
+    assert_rule_matches_fixture("UNT002", "unt002_ms_literal.py")
+
+
+def test_unt002_applies_outside_repro_too():
+    source = "sim.schedule(30000, cb)\n"
+    findings = [f for f in lint_snippet(source, path="tests/test_x.py")
+                if f.rule_id == "UNT002"]
+    assert [f.line for f in findings] == [1]

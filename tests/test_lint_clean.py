@@ -1,0 +1,28 @@
+"""Tier-1 gate: the tree must stay lint-clean.
+
+``repro.lint`` encodes the repository's determinism, unit-safety, and
+sim-API invariants (docs/LINTING.md); this test makes every violation a
+test failure, so refactors cannot silently reintroduce the bug classes
+the linter closes.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_src_and_tests_are_lint_clean():
+    findings, files_checked = lint_paths(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    assert files_checked > 100, "lint walk found suspiciously few files"
+    rendered = "\n".join(f.render() for f in findings)
+    assert not findings, f"lint findings in tree:\n{rendered}"
+
+
+def test_fixture_directory_is_excluded_from_the_walk():
+    # the deliberately-broken fixtures live under tests/lint/fixtures;
+    # the tree walk must skip them (explicit paths still lint them)
+    findings, _ = lint_paths([str(REPO_ROOT / "tests" / "lint")])
+    assert findings == []
