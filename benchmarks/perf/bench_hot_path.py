@@ -1,0 +1,55 @@
+"""Hot-path workload benchmarks (the `repro perf` suite under pytest).
+
+Runs each :mod:`repro.perf.workloads` configuration once under
+pytest-benchmark, records the throughput numbers in ``extra_info`` (the
+same events/s and cells/s that ``repro perf`` writes to
+``BENCH_perf.json``), and sanity-checks the run against the committed
+baseline with a generous factor — this is a smoke bound against
+order-of-magnitude regressions, not a tight perf gate; machines differ
+(see docs/PERFORMANCE.md for the measurement methodology).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf import (DEFAULT_REGRESSION_FACTOR, WORKLOADS,
+                        check_regression, measure, read_report)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "BENCH_perf.json"
+
+#: Scale for the benchmark run: small enough for CI, above
+#: ``workloads.MIN_SCALE`` so every configuration is well-formed.
+SCALE = 0.2
+
+#: Headroom over the committed baseline before the smoke bound trips.
+#: Wide on purpose: it gates "the kernel got several times slower", and
+#: absorbs machine differences plus the short-horizon warmup overhead.
+SMOKE_FACTOR = 4.0 * DEFAULT_REGRESSION_FACTOR
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_throughput(benchmark, name):
+    entry = {}
+
+    def run():
+        entry.update(measure(name, scale=SCALE))
+        return entry
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {k: entry[k] for k in ("events", "events_per_sec",
+                               "cells", "cells_per_sec",
+                               "wall_per_sim_sec")})
+    assert entry["events"] > 0
+    assert entry["cells"] > 0
+
+    if not BASELINE.exists():  # freshly regenerated tree; nothing to gate
+        return
+    report = {"workloads": {name: entry}}
+    problems = check_regression(report, read_report(str(BASELINE)),
+                                factor=SMOKE_FACTOR)
+    assert not problems, problems

@@ -20,10 +20,12 @@ when the remembered EFCI state is set (binary-mode feedback).
 
 from __future__ import annotations
 
+from heapq import heappush
+
 from repro.atm.cell import Cell, RMCell, RMDirection
-from repro.atm.link import CellSink
+from repro.atm.link import CellSink, Link
 from repro.atm.params import AbrParams, PAPER_PARAMS
-from repro.sim import Event, PeriodicTimer, Probe, Simulator, units
+from repro.sim import PeriodicTimer, Probe, Simulator, units
 
 
 class AbrSource(CellSink):
@@ -37,11 +39,28 @@ class AbrSource(CellSink):
         self.params = params
         self.start_time = start_time
         self.link: CellSink | None = None
+        self._link_receive = None
+        self._fast_link: Link | None = None
 
         self._acr = params.icr
         self.active = True
         self.started = False
-        self._pending: Event | None = None
+        # Pacing runs on raw fast events with a stale-fire check rather
+        # than cancellable handles: _next_emit is the authoritative next
+        # emission time (None = paused), every assignment of it schedules
+        # a wake-up at exactly that time, and _emit ignores any fire
+        # whose timestamp is not the authoritative one.  Re-pacing after
+        # a rate change therefore supersedes the old wake-up instead of
+        # cancelling it — same wake-up times, no Event allocations on the
+        # per-cell path.
+        self._next_emit: float | None = None
+        self._emit_cb = self._emit
+        self._interval_cached = units.cell_time(self._acr)
+        self._nrm = params.nrm
+        # calendar-queue aliases for the inlined per-cell wake-up push
+        # (see Simulator.schedule_fast for the entry-layout contract)
+        self._sim_heap = sim._heap
+        self._sim_seq = sim._seq
         self._last_emit: float | None = None
 
         self.cells_sent = 0
@@ -67,11 +86,19 @@ class AbrSource(CellSink):
         # probe records changes only (not an arithmetic tolerance check)
         if value != self._acr:  # lint: disable=FLT001
             self._acr = value
+            self._interval_cached = units.cell_time(value)
             self.acr_probe.record(self.sim.now, value)
             self._maybe_reschedule()
 
     def attach_link(self, link: CellSink) -> None:
         self.link = link
+        self._link_receive = link.receive
+        # lossless Link: _emit performs the cursor update and delivery
+        # push itself (identical arithmetic; see Link.send), saving one
+        # call frame per cell.  Lossy links and test stubs go through
+        # receive.
+        self._fast_link = (link if isinstance(link, Link)
+                           and not link.loss_rate else None)
 
     def start(self) -> None:
         """Schedule the first emission at ``start_time``."""
@@ -89,6 +116,8 @@ class AbrSource(CellSink):
         self.acr_probe.record(self.sim.now, self._acr)
         PeriodicTimer(self.sim, self.params.trm, self._trm_check).start()
         if self.active:
+            # the direct call stands in for a wake-up firing right now
+            self._next_emit = self.sim.now
             self._emit()
 
     def _trm_check(self, _timer) -> None:
@@ -121,9 +150,9 @@ class AbrSource(CellSink):
             return
         self.active = active
         if not active:
-            if self._pending is not None:
-                self._pending.cancel()
-                self._pending = None
+            # no cancel: the outstanding wake-up turns stale and _emit
+            # drops it on fire
+            self._next_emit = None
             return
         if not self.started or self.sim.now < self.start_time:
             # _begin will emit the first cell if still active then
@@ -138,51 +167,86 @@ class AbrSource(CellSink):
     # emission pacing
     # ------------------------------------------------------------------
     def _interval(self) -> float:
-        return units.cell_time(self._acr)
+        return self._interval_cached
 
     def _schedule_next(self, immediate: bool = False) -> None:
-        if self._pending is not None:
-            self._pending.cancel()
         if immediate and self._last_emit is not None:
             # respect pacing: never two cells closer than one ACR slot
-            at = max(self.sim.now, self._last_emit + self._interval())
-            self._pending = self.sim.schedule_at(at, self._emit)
+            at = self.sim.now
+            paced = self._last_emit + self._interval_cached
+            if paced > at:
+                at = paced
         else:
-            self._pending = self.sim.schedule(self._interval(), self._emit)
+            at = self.sim.now + self._interval_cached
+        self._next_emit = at
+        heappush(self._sim_heap,
+                 (at, next(self._sim_seq), None, self._emit_cb, ()))
 
     def _maybe_reschedule(self) -> None:
         """Pull the next emission closer after a rate increase.
 
         Pacing invariant: the next cell may go out at
         ``last_emit + 1/ACR``; if the pending emission (scheduled under a
-        lower rate) sits later than that, move it up.
+        lower rate) sits later than that, move it up (the superseded
+        wake-up turns stale).
         """
-        if self._pending is None or self._last_emit is None:
+        if self._next_emit is None or self._last_emit is None:
             return
-        allowed = max(self.sim.now, self._last_emit + self._interval())
-        if self._pending.time > allowed:
-            self._pending.cancel()
-            self._pending = self.sim.schedule_at(allowed, self._emit)
+        allowed = max(self.sim.now, self._last_emit + self._interval_cached)
+        if self._next_emit > allowed:
+            self._next_emit = allowed
+            heappush(self._sim_heap,
+                     (allowed, next(self._sim_seq), None,
+                      self._emit_cb, ()))
 
     def _emit(self) -> None:
-        self._pending = None
+        # exact compare on purpose: a wake-up is authoritative iff it
+        # fires at precisely the recorded emission time; anything else is
+        # a superseded or paused-out wake-up and must do nothing
+        now = self.sim.now
+        if self._next_emit != now:  # lint: disable=FLT001
+            return
+        self._next_emit = None
         if not self.active:
             return
-        if self.cells_sent % self.params.nrm == 0:
+        if self.cells_sent % self._nrm == 0:
             cell: Cell = RMCell(
                 vc=self.vc, seq=self.cells_sent,
                 direction=RMDirection.FORWARD,
                 ccr=self._acr, er=self.params.pcr,
                 mcr=self.params.mcr, weight=self.params.weight)
             self.rm_sent += 1
-            self._last_rm_time = self.sim.now
+            self._last_rm_time = now
         else:
-            cell = Cell(vc=self.vc, seq=self.cells_sent)
+            cell = Cell(self.vc, self.cells_sent)
             self.data_sent += 1
         self.cells_sent += 1
-        self._last_emit = self.sim.now
-        self.link.receive(cell)
-        self._schedule_next()
+        self._last_emit = now
+        link = self._fast_link
+        if link is not None:
+            # Link.send inlined for the lossless case: same cursor
+            # arithmetic, same delivery push, one frame fewer per cell
+            busy_until = link._busy_until
+            dep = (busy_until if busy_until > now else now) + link.cell_time
+            link._busy_until = dep
+            deps = link._pending_deps
+            if deps and deps[0] + link.propagation <= now:
+                deps.popleft()
+                link._delivered_base += 1
+            deps.append(dep)
+            heappush(self._sim_heap,
+                     (dep + link.propagation, next(self._sim_seq), None,
+                      link._sink_receive, (cell,)))
+        else:
+            self._link_receive(cell)
+        # _schedule_next(immediate=False) inlined: handing the cell to
+        # the link pushes one delivery event but never advances the
+        # clock or touches this source's rate, so `now` and the cached
+        # interval are still current
+        at = now + self._interval_cached
+        self._next_emit = at
+        heappush(self._sim_heap,
+                 (at, next(self._sim_seq), None, self._emit_cb, ()))
 
     # ------------------------------------------------------------------
     # feedback path
@@ -228,7 +292,7 @@ class AbrDestination(CellSink):
         if cell.vc != self.vc:
             raise ValueError(
                 f"destination {self.vc} got cell for {cell.vc!r}")
-        if isinstance(cell, RMCell):
+        if cell.is_rm:
             if cell.direction is not RMDirection.FORWARD:
                 raise ValueError(
                     f"destination {self.vc} received a backward RM cell")

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heappush
 from typing import Protocol
 
 from repro.atm.cell import Cell
@@ -56,23 +57,87 @@ class Link:
         self.name = name
         self.loss_rate = loss_rate
         self.rng = rng or random.Random(0)
+        # lossless fast path: a departure-time cursor replaces the cell
+        # buffer (each cell's delivery is scheduled at send time), and
+        # the pending departure stamps back the `queued` property.  The
+        # delivery event invokes the sink directly — link bookkeeping
+        # (`delivered`, `queued`) is derived lazily from the recorded
+        # departure times instead of paying a callback frame per cell.
+        self._busy_until = 0.0
+        self._pending_deps: deque[float] = deque()
+        self._delivered_base = 0
+        self._sink_receive = sink.receive
+        # calendar-queue aliases: one delivery event is pushed per cell,
+        # so the push itself is inlined (see Simulator.schedule_fast for
+        # the entry-layout contract; both objects are stable for the
+        # simulator's life)
+        self._sim_heap = sim._heap
+        self._sim_seq = sim._seq
+        # loss-injection path keeps the per-cell transmit events, so the
+        # rng is still drawn once per departure, in departure order
         self._buffer: deque[Cell] = deque()
         self._busy = False
-        #: Total cells delivered to the sink (observability).
-        self.delivered = 0
         #: Cells destroyed by injected loss.
         self.lost = 0
 
     def send(self, cell: Cell) -> None:
         """Accept a cell for transmission."""
-        self._buffer.append(cell)
-        if not self._busy:
-            self._busy = True
-            self.sim.schedule(self.cell_time, self._transmitted)
+        if self.loss_rate:
+            self._buffer.append(cell)
+            if not self._busy:
+                self._busy = True
+                # loss injection stays evented on purpose: the rng must
+                # be drawn once per departure, in departure order
+                self.sim.schedule(  # lint: disable=PRF001
+                    self.cell_time, self._transmitted)
+            return
+        # Lossless: the departure time is fully determined on arrival
+        # (max(cursor, now) + cell_time reproduces the per-cell event
+        # chain's timestamps exactly, including the tie where an arrival
+        # lands on the instant a busy period ends), so serialization and
+        # propagation collapse into a single delivery event per cell.
+        busy_until = self._busy_until
+        now = self.sim.now
+        dep = (busy_until if busy_until > now else now) + self.cell_time
+        self._busy_until = dep
+        deps = self._pending_deps
+        # retire one already-delivered departure per send (bookkeeping
+        # only — counters, never event times — so the float compare is
+        # exact by construction: both sides were computed by this method)
+        if deps and deps[0] + self.propagation <= now:
+            deps.popleft()
+            self._delivered_base += 1
+        deps.append(dep)
+        heappush(self._sim_heap,
+                 (dep + self.propagation, next(self._sim_seq), None,
+                  self._sink_receive, (cell,)))
 
-    def receive(self, cell: Cell) -> None:
-        """CellSink alias, so links compose with switches and ports."""
-        self.send(cell)
+    #: CellSink alias, so links compose with switches and ports.
+    receive = send
+
+    def receive_at(self, cell: Cell, arrival: float) -> None:
+        """Lossless-only: process an arrival known to happen at a future
+        instant.  An upstream port whose departure is separated from this
+        link only by a fixed propagation delay calls this at departure
+        time instead of scheduling an arrival event — the cursor update
+        and the delivery timestamp are computed from ``arrival`` exactly
+        as :meth:`send` would compute them from ``now`` when the arrival
+        event fired, so the delivery lands on the identical instant with
+        one event fewer per cell.  Only valid when this link's arrivals
+        all come from that single upstream port (FIFO order preserved).
+        """
+        busy_until = self._busy_until
+        dep = (busy_until if busy_until > arrival else arrival) \
+            + self.cell_time
+        self._busy_until = dep
+        deps = self._pending_deps
+        if deps and deps[0] + self.propagation <= self.sim.now:
+            deps.popleft()
+            self._delivered_base += 1
+        deps.append(dep)
+        heappush(self._sim_heap,
+                 (dep + self.propagation, next(self._sim_seq), None,
+                  self._sink_receive, (cell,)))
 
     def _transmitted(self) -> None:
         cell = self._buffer.popleft()
@@ -81,15 +146,56 @@ class Link:
         else:
             self.sim.schedule(self.propagation, self._deliver, cell)
         if self._buffer:
-            self.sim.schedule(self.cell_time, self._transmitted)
+            # evented on purpose — see send()'s loss branch
+            self.sim.schedule(  # lint: disable=PRF001
+                self.cell_time, self._transmitted)
         else:
             self._busy = False
 
+    def bind_direct(self, receive) -> None:
+        """Deliver straight to ``receive``, skipping the sink's dispatch.
+
+        Wiring aid for network builders: when every cell this link will
+        ever carry makes the sink's ``receive`` resolve to the same
+        bound method (a single-VC access link into a switch whose
+        write-once routing always picks the same next hop), the dispatch
+        frame can be pre-resolved at wiring time.  The delivery event,
+        its timestamp, and the delivery bookkeeping are unchanged — only
+        the intra-event call chain shortens.
+        """
+        self._sink_receive = receive
+
     def _deliver(self, cell: Cell) -> None:
-        self.delivered += 1
-        self.sink.receive(cell)
+        # loss-injection path only; the lossless path schedules the sink
+        # callback directly and derives `delivered` from departure times
+        self._delivered_base += 1
+        self._sink_receive(cell)
+
+    def _retire_delivered(self) -> None:
+        """Retire departures whose delivery instant has passed.
+
+        Bookkeeping only (the delivery events themselves are already
+        scheduled); the comparison reproduces the exact delivery
+        timestamp float, so a departure is retired iff its delivery
+        event fires at or before the current instant.
+        """
+        deps = self._pending_deps
+        prop = self.propagation
+        now = self.sim.now
+        while deps and deps[0] + prop <= now:
+            deps.popleft()
+            self._delivered_base += 1
+
+    @property
+    def delivered(self) -> int:
+        """Total cells handed to the sink (observability)."""
+        self._retire_delivered()
+        return self._delivered_base
 
     @property
     def queued(self) -> int:
         """Cells awaiting transmission (should stay tiny; see class doc)."""
-        return len(self._buffer)
+        self._retire_delivered()
+        now = self.sim.now
+        return (len(self._buffer)
+                + sum(1 for dep in self._pending_deps if dep > now))

@@ -157,8 +157,9 @@ class AtmNetwork:
         destination = AbrDestination(self.sim, vc, efci_to_ci=efci_to_ci)
 
         # access links (both directions at each edge)
-        source.attach_link(Link(
-            self.sim, self.link_rate, delay, hops[0], name=f"{vc}.in"))
+        in_link = Link(
+            self.sim, self.link_rate, delay, hops[0], name=f"{vc}.in")
+        source.attach_link(in_link)
         to_source = Link(
             self.sim, self.link_rate, delay, source, name=f"{vc}.back")
         to_dest = Link(
@@ -172,6 +173,10 @@ class AtmNetwork:
             backward = (self.trunk(switch, hops[i - 1])
                         if i > 0 else to_source)
             switch.connect_session(vc, forward=forward, backward=backward)
+
+        # the in-link only ever carries this session's forward cells, so
+        # its deliveries can skip the first switch's dispatch
+        in_link.bind_direct(hops[0].forward_receiver(vc))
 
         session = Session(
             vc=vc, source=source, destination=destination,
@@ -192,9 +197,10 @@ class AtmNetwork:
             raise ValueError("route must name at least one switch")
         hops = [self._switch(r) for r in route]
         sink = BackgroundSink(vc)
-        source.attach_link(Link(
+        in_link = Link(
             self.sim, self.link_rate, self.access_delay, hops[0],
-            name=f"{vc}.in"))
+            name=f"{vc}.in")
+        source.attach_link(in_link)
         to_sink = Link(self.sim, self.link_rate, self.access_delay, sink,
                        name=f"{vc}.out")
         dead_end = _NoBackwardPath(vc)
@@ -202,6 +208,7 @@ class AtmNetwork:
             forward: CellSink = (self.trunk(switch, hops[i + 1])
                                  if i + 1 < len(hops) else to_sink)
             switch.connect_session(vc, forward=forward, backward=dead_end)
+        in_link.bind_direct(hops[0].forward_receiver(vc))
         self.background[vc] = (source, sink)
         source.start()
         return sink

@@ -10,7 +10,9 @@ RM cells of the sessions whose forward path crosses the port.
 
 from __future__ import annotations
 
-from collections import deque
+import sys
+from collections import Counter, deque
+from heapq import heappush
 
 from repro.atm.cell import Cell, RMCell, RMDirection
 from repro.atm.link import CellSink
@@ -95,70 +97,195 @@ class OutputPort(CellSink):
 
         self._queues: list[deque[Cell]] = [
             deque() for _ in range(self.PRIORITY_LEVELS)]
+        self._abr_queue = self._queues[-1]
+        self._sink_receive = sink.receive
+        # hot-path constants: an unbounded buffer becomes an unreachable
+        # integer limit (qlen can never get there), and the level clamp
+        # bound is precomputed
+        self._buf_limit = (buffer_cells if buffer_cells is not None
+                           else sys.maxsize)
+        self._max_level = self.PRIORITY_LEVELS - 1
         self._busy = False
         #: Queue holding the cell currently being serialized; priorities
         #: are non-preemptive, so the choice is fixed at service start.
         self._serving: deque[Cell] | None = None
+        # occupancy counters mirror the deques so the per-cell paths
+        # never pay an O(levels) sum
+        self._qlen = 0
+        self._abr_qlen = 0
+        # bound methods captured once, instead of one allocation per
+        # scheduled departure / per-cell hook dispatch
+        self._tx_cb = self._transmitted
+        self._alg_on_forward_rm = self.algorithm.on_forward_rm
+        # None when the algorithm never overrode a hook, so the per-cell
+        # paths skip guaranteed no-op calls (plain FIFO ports pay
+        # nothing for the algorithm interface)
+        alg_cls = type(self.algorithm)
+        self._alg_on_arrival = (
+            self.algorithm.on_arrival
+            if alg_cls.on_arrival is not PortAlgorithm.on_arrival
+            else None)
+        self._alg_on_departure = (
+            self.algorithm.on_departure
+            if alg_cls.on_departure is not PortAlgorithm.on_departure
+            else None)
+        # calendar-queue aliases for the inlined event pushes (see
+        # Simulator.schedule_fast for the entry-layout contract)
+        self._sim_heap = sim._heap
+        self._sim_seq = sim._seq
+        # downstream switches/links expose receive_at, which lets a
+        # departure hand the cell over without an intermediate
+        # propagation event (see AtmSwitch.receive_at)
+        self._deliver_at = getattr(sink, "receive_at", None)
 
         self.queue_probe = StepProbe(f"{name}.queue")
         self.abr_queue_probe = StepProbe(f"{name}.abr_queue")
+        #: Cumulative drop count as a step series (pairs with
+        #: :attr:`drops_by_vc` for per-VC attribution).
+        self.drops_probe = StepProbe(f"{name}.drops")
+        # raw storage of the two per-cell probes, for the hand-inlined
+        # records in receive/_transmitted (the arrays mutate in place,
+        # so these aliases stay valid for the probe's life)
+        self._q_times = self.queue_probe.times
+        self._q_vals = self.queue_probe.values
+        self._a_times = self.abr_queue_probe.times
+        self._a_vals = self.abr_queue_probe.values
         self.arrivals = 0
         self.departures = 0
         self.drops = 0
-        self.drops_by_vc: dict[str, int] = {}
+        self.drops_by_vc: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
     @property
     def queue_len(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._qlen
 
     @property
     def abr_queue_len(self) -> int:
-        return len(self._queues[-1])
+        return self._abr_qlen
 
     @property
     def capacity_cells_per_sec(self) -> float:
         return units.mbps_to_cells_per_sec(self.rate_mbps)
 
-    def _record_queues(self) -> None:
-        self.queue_probe.record(self.sim.now, self.queue_len)
-        self.abr_queue_probe.record(self.sim.now, self.abr_queue_len)
-
     # ------------------------------------------------------------------
     def receive(self, cell: Cell) -> None:
         """Cell routed to this port by the switch."""
         self.arrivals += 1
-        self.algorithm.on_arrival(cell)
-        if isinstance(cell, RMCell) and cell.direction is RMDirection.FORWARD:
-            self.algorithm.on_forward_rm(cell)
-        if (self.buffer_cells is not None
-                and self.queue_len >= self.buffer_cells):
+        on_arrival = self._alg_on_arrival
+        if on_arrival is not None:
+            on_arrival(cell)
+        if cell.is_rm and cell.direction is RMDirection.FORWARD:
+            self._alg_on_forward_rm(cell)
+        if self._qlen >= self._buf_limit:
             self.drops += 1
-            self.drops_by_vc[cell.vc] = self.drops_by_vc.get(cell.vc, 0) + 1
+            self.drops_by_vc[cell.vc] += 1
+            self.drops_probe.record(self.sim.now, self.drops)
             return
-        level = min(max(cell.priority, 0), self.PRIORITY_LEVELS - 1)
+        level = cell.priority
+        max_level = self._max_level
+        if level < 0:
+            level = 0
+        elif level > max_level:
+            level = max_level
         self._queues[level].append(cell)
-        self._record_queues()
+        qlen = self._qlen = self._qlen + 1
+        if level == max_level:
+            self._abr_qlen += 1
+        # StepProbe.record hand-inlined for both queue probes (dedup
+        # equal values, coalesce equal timestamps; the backwards-time
+        # guard is skipped — simulation time is monotonic here).  Two
+        # probe updates per cell event make the call overhead itself the
+        # dominant cost, hence no helper call.
+        now = self.sim.now
+        vals = self._q_vals
+        if not vals or vals[-1] != qlen:  # lint: disable=FLT001
+            times = self._q_times
+            if times and times[-1] == now:  # lint: disable=FLT001
+                vals[-1] = qlen
+            else:
+                times.append(now)
+                vals.append(qlen)
+        value = self._abr_qlen
+        vals = self._a_vals
+        if not vals or vals[-1] != value:  # lint: disable=FLT001
+            times = self._a_times
+            if times and times[-1] == now:  # lint: disable=FLT001
+                vals[-1] = value
+            else:
+                times.append(now)
+                vals.append(value)
         if not self._busy:
             self._busy = True
             self._serving = self._queues[level]
-            self.sim.schedule(self.cell_time, self._transmitted)
+            heappush(self._sim_heap,
+                     (now + self.cell_time, next(self._sim_seq),
+                      None, self._tx_cb, ()))
 
     def _transmitted(self) -> None:
-        cell = self._serving.popleft()
-        self._record_queues()
-        self.departures += 1
-        self.algorithm.on_departure(cell)
-        if self.propagation > 0:
-            self.sim.schedule(self.propagation, self.sink.receive, cell)
-        else:
-            self.sink.receive(cell)
-        if self.queue_len:
-            self._serving = next(q for q in self._queues if q)
-            self.sim.schedule(self.cell_time, self._transmitted)
-        else:
-            self._busy = False
-            self._serving = None
+        # Drains a whole back-to-back cell train in one callback: after
+        # each departure the next service completion is reached through
+        # advance_inline, which only succeeds when no other event (an
+        # arrival, a timer) is due first — so the executed schedule is
+        # identical to the one-event-per-cell kernel, minus the heap
+        # traffic.  Attributes are read at point of use, not hoisted:
+        # at a contended port arrivals interleave between departures, so
+        # the common case is exactly one iteration and hoisting costs
+        # more than it saves.
+        sim = self.sim
+        while True:
+            serving = self._serving
+            cell = serving.popleft()
+            qlen = self._qlen = self._qlen - 1
+            if serving is self._abr_queue:
+                self._abr_qlen -= 1
+            # StepProbe.record hand-inlined (see receive)
+            now = sim.now
+            vals = self._q_vals
+            if not vals or vals[-1] != qlen:  # lint: disable=FLT001
+                times = self._q_times
+                if times and times[-1] == now:  # lint: disable=FLT001
+                    vals[-1] = qlen
+                else:
+                    times.append(now)
+                    vals.append(qlen)
+            value = self._abr_qlen
+            vals = self._a_vals
+            if not vals or vals[-1] != value:  # lint: disable=FLT001
+                times = self._a_times
+                if times and times[-1] == now:  # lint: disable=FLT001
+                    vals[-1] = value
+                else:
+                    times.append(now)
+                    vals.append(value)
+            self.departures += 1
+            on_departure = self._alg_on_departure
+            if on_departure is not None:
+                on_departure(cell)
+            prop = self.propagation
+            if prop > 0:
+                deliver_at = self._deliver_at
+                if deliver_at is not None:
+                    deliver_at(cell, now + prop)
+                else:
+                    heappush(self._sim_heap,
+                             (now + prop, next(self._sim_seq), None,
+                              self._sink_receive, (cell,)))
+            else:
+                self._sink_receive(cell)
+            if self._qlen:
+                # non-preemptive priority: the next queue to serve is
+                # fixed now, at this service completion
+                self._serving = next(q for q in self._queues if q)
+                at = now + self.cell_time
+                if sim.advance_inline(at):
+                    continue
+                heappush(self._sim_heap,
+                         (at, next(self._sim_seq), None, self._tx_cb, ()))
+            else:
+                self._busy = False
+                self._serving = None
+            return
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<OutputPort {self.name} {self.rate_mbps}Mb/s "

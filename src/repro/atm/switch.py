@@ -15,8 +15,10 @@ and links, the standard output-queued abstraction.
 
 from __future__ import annotations
 
-from repro.atm.cell import Cell, RMCell, RMDirection
-from repro.atm.link import CellSink
+from typing import Callable
+
+from repro.atm.cell import Cell, RMDirection
+from repro.atm.link import CellSink, Link
 from repro.atm.port import OutputPort
 from repro.sim import Simulator
 
@@ -37,6 +39,16 @@ class AtmSwitch(CellSink):
         self._backward: dict[str, CellSink] = {}
         #: The forward OutputPort whose algorithm controls each VC, if any.
         self._control: dict[str, OutputPort] = {}
+        #: Per-VC cache for :meth:`receive_at`: the forward next hop when
+        #: it is a lossless :class:`Link` (else ``None``).  Routes are
+        #: write-once (``connect_session`` rejects re-routing), so the
+        #: cache can never go stale.
+        self._compose: dict[str, Link | None] = {}
+        # per-VC dispatch caches (bound methods), same write-once
+        # argument: skip the attribute lookups on the per-cell path
+        self._forward_recv: dict[str, Callable] = {}
+        self._backward_recv: dict[str, Callable] = {}
+        self._mark: dict[str, Callable | None] = {}
 
     def connect_session(self, vc: str, forward: CellSink,
                         backward: CellSink) -> None:
@@ -51,29 +63,68 @@ class AtmSwitch(CellSink):
             raise ValueError(f"switch {self.name}: vc {vc!r} already routed")
         self._forward[vc] = forward
         self._backward[vc] = backward
+        self._forward_recv[vc] = forward.receive
+        self._backward_recv[vc] = backward.receive
         if isinstance(forward, OutputPort):
             self._control[vc] = forward
+            self._mark[vc] = forward.algorithm.on_backward_rm
+        else:
+            self._mark[vc] = None
+
+    def forward_receiver(self, vc: str) -> Callable:
+        """The bound ``receive`` that forward cells of ``vc`` dispatch
+        to — for wiring-time pre-resolution of single-VC access links
+        (see :meth:`repro.atm.link.Link.bind_direct`)."""
+        return self._forward_recv[vc]
 
     def receive(self, cell: Cell) -> None:
-        if isinstance(cell, RMCell) and cell.direction is RMDirection.BACKWARD:
+        if cell.is_rm and cell.direction is RMDirection.BACKWARD:
             try:
-                backward = self._backward[cell.vc]
+                backward_recv = self._backward_recv[cell.vc]
             except KeyError:
                 raise RoutingError(
                     f"switch {self.name}: no backward route for "
                     f"vc {cell.vc!r}") from None
-            control = self._control.get(cell.vc)
-            if control is not None:
-                control.algorithm.on_backward_rm(cell)
-            backward.receive(cell)
+            mark = self._mark[cell.vc]
+            if mark is not None:
+                mark(cell)
+            backward_recv(cell)
             return
         try:
-            forward = self._forward[cell.vc]
+            forward_recv = self._forward_recv[cell.vc]
         except KeyError:
             raise RoutingError(
                 f"switch {self.name}: no forward route for "
                 f"vc {cell.vc!r}") from None
-        forward.receive(cell)
+        forward_recv(cell)
+
+    def receive_at(self, cell: Cell, arrival: float) -> None:
+        """Process an arrival known to happen at the future ``arrival``.
+
+        Called by an upstream port at departure time in place of
+        scheduling an arrival event.  Switching is zero-latency and the
+        routing tables are write-once, so a *forward* cell whose next hop
+        is a lossless link can be pushed straight through to the link's
+        own future-arrival path — one event fewer per cell, with the
+        delivery landing on the identical instant.  Everything else
+        (backward RM cells, whose marking must read the port algorithm's
+        state at arrival time; next hops that queue; unknown VCs) falls
+        back to a real arrival event, which reproduces the unoptimised
+        schedule exactly.
+        """
+        if not (cell.is_rm and cell.direction is RMDirection.BACKWARD):
+            vc = cell.vc
+            try:
+                link = self._compose[vc]
+            except KeyError:
+                hop = self._forward.get(vc)
+                link = (hop if isinstance(hop, Link) and not hop.loss_rate
+                        else None)
+                self._compose[vc] = link
+            if link is not None:
+                link.receive_at(cell, arrival)
+                return
+        self.sim.schedule_fast_at(arrival, self.receive, (cell,))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<AtmSwitch {self.name} vcs={sorted(self._forward)}>"

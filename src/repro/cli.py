@@ -146,6 +146,43 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                         ignore=args.ignore, list_rules=args.list_rules)
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    # imported here so `repro list/atm/...` never pays for the perf suite
+    from repro import perf
+
+    report = perf.run_suite(args.workload or None, scale=args.scale,
+                            repeats=args.repeats)
+    rows = [[name, entry["wall_s"], entry["wall_per_sim_sec"],
+             entry["events_per_sec"], entry["cells_per_sec"]]
+            for name, entry in sorted(report["workloads"].items())]
+    print(format_table(
+        ["workload", "wall s", "wall/sim-s", "events/s", "cells/s"], rows))
+
+    status = 0
+    if args.check:
+        try:
+            baseline = perf.read_report(args.baseline)
+        except FileNotFoundError:
+            print(f"\nno baseline at {args.baseline!r}; nothing to check "
+                  "against")
+            return 1
+        problems = perf.check_regression(report, baseline,
+                                         factor=args.factor)
+        if problems:
+            print("\nperf regression against "
+                  f"{args.baseline} (factor {args.factor:g}):")
+            for problem in problems:
+                print(f"  {problem}")
+            status = 1
+        else:
+            print(f"\nwithin {args.factor:g}x of the {args.baseline} "
+                  "baseline")
+    if args.output:
+        perf.write_report(args.output, report)
+        print(f"\nwrote {args.output}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,6 +225,28 @@ def build_parser() -> argparse.ArgumentParser:
                      "sim-API invariants (see docs/LINTING.md)")
     lint_cli.add_arguments(lint)
     lint.set_defaults(fn=_cmd_lint)
+
+    perf = sub.add_parser(
+        "perf", help="measure hot-path throughput and refresh "
+                     "BENCH_perf.json (see docs/PERFORMANCE.md)")
+    perf.add_argument("--workload", action="append", default=None,
+                      help="workload name (repeatable; default: all)")
+    perf.add_argument("--scale", type=float, default=1.0,
+                      help="multiplier on each workload's simulated "
+                           "horizon (default 1.0)")
+    perf.add_argument("--repeats", type=int, default=1,
+                      help="best-of-N wall-time measurement (default 1)")
+    perf.add_argument("--output", default="BENCH_perf.json",
+                      help="report file to write; use '' to skip writing")
+    perf.add_argument("--check", action="store_true",
+                      help="fail (exit 1) on wall/sim-sec regression "
+                           "against --baseline")
+    perf.add_argument("--baseline", default="BENCH_perf.json",
+                      help="baseline report for --check")
+    perf.add_argument("--factor", type=float, default=2.0,
+                      help="allowed wall/sim-sec regression factor "
+                           "(default 2.0)")
+    perf.set_defaults(fn=_cmd_perf)
     return parser
 
 

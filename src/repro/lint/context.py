@@ -16,6 +16,11 @@ from repro.lint.pragmas import Suppressions
 #: Call names (last dotted component) that put work on the event queue.
 SCHEDULE_METHODS = frozenset({"schedule", "schedule_at"})
 
+#: The kernel-internal unchecked tier (no Event handle, no validation);
+#: deliberately disjoint from SCHEDULE_METHODS so the checked-path rules
+#: (SIM002, PRF001) never fire on code that already took the fast path.
+FAST_SCHEDULE_METHODS = frozenset({"schedule_fast", "schedule_fast_at"})
+
 
 def dotted_name(node: ast.AST) -> str | None:
     """``a.b.c`` for a Name/Attribute chain, else None."""

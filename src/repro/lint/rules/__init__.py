@@ -1,3 +1,4 @@
 """Built-in rule modules; importing this package registers every rule."""
 
-from repro.lint.rules import determinism, simapi, units  # noqa: F401
+from repro.lint.rules import (determinism, perf, simapi,  # noqa: F401
+                              units)

@@ -1,0 +1,79 @@
+"""Performance rules (PRF*).
+
+The kernel's throughput rests on keeping the per-cell event paths on the
+fast scheduling tier (:meth:`Simulator.schedule_fast`, ``receive_at``
+composition — see docs/PERFORMANCE.md).  These rules catch the easy way
+to erode that: new code in the packet/cell subpackages quietly routing
+per-cell work through the checked ``schedule()`` path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, last_attr
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Delay expressions that mark a call as per-cell work: a literal zero
+#: (same-instant hand-off — a direct call or composition candidate) or
+#: the one-cell serialization time.
+_CELL_DELAY_ATTR = "cell_time"
+
+
+def _is_zero(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool)
+            and node.value == 0)
+
+
+def _is_cell_time(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == _CELL_DELAY_ATTR
+    return isinstance(node, ast.Attribute) and node.attr == _CELL_DELAY_ATTR
+
+
+@register
+class HotPathCheckedScheduleRule(Rule):
+    """PRF001: checked ``schedule()`` with a per-cell delay on a hot path.
+
+    A ``schedule(0, ...)`` or ``schedule(cell_time, ...)`` inside the
+    cell/packet subpackages runs once per cell: it pays the negative-delay
+    check and an :class:`Event` allocation for a callback that is never
+    cancelled.  Use ``schedule_fast``/``schedule_fast_at`` (or hand the
+    object downstream directly / via ``receive_at`` composition) — or
+    suppress with a justification when the checked path is intentional
+    (e.g. an evented branch whose per-event RNG draw order is the point).
+    """
+
+    id = "PRF001"
+    severity = Severity.WARNING
+    summary = ("per-cell schedule() call (zero/cell-time delay) on a hot "
+               "path; use schedule_fast/receive_at composition or "
+               "suppress with a justification")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("atm", "tcp")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and last_attr(node) == "schedule"
+                    and node.args):
+                continue
+            delay = node.args[0]
+            if _is_zero(delay):
+                what = "a zero delay (same-instant hand-off)"
+            elif _is_cell_time(delay):
+                what = "the per-cell serialization time"
+            else:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"schedule() with {what} runs once per cell and pays the "
+                "checked path's validation and Event allocation; use "
+                "schedule_fast/schedule_fast_at or receive_at composition "
+                "(suppress with a justification if the checked path is "
+                "intentional)")

@@ -3,17 +3,44 @@
 The engine is a classic calendar queue: callbacks are scheduled at absolute
 simulation times and executed in time order.  Ties are broken by insertion
 order, which makes every run fully deterministic — a property the test
-suite and the benchmark harness rely on.
+suite, the golden-trace fixtures, and the benchmark harness rely on.
 
 Times are floats in **seconds**.  The engine never interprets them; the
 unit convention lives in :mod:`repro.sim.units`.
+
+Two scheduling tiers share one heap and one insertion-order counter:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — the checked
+  path.  Validates the timestamp and returns an :class:`Event` handle that
+  can be cancelled.  Use it everywhere correctness-by-construction is not
+  obvious, and always when the event may need cancelling.
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_fast_at` —
+  the kernel-internal fast path for the per-cell hot loop (port
+  serializers, link deliveries).  Skips the negative-delay/ordering checks
+  and the ``Event`` wrapper; the caller promises the timestamp is not in
+  the past and that the callback will never be cancelled.  Execution order
+  relative to checked events is governed by the shared ``(time, seq)``
+  tie-break, so mixing tiers is bit-identical to using the checked path
+  throughout.
+
+Transmitters that drain back-to-back cell trains use
+:meth:`Simulator.advance_inline` to step the clock to the next departure
+without a heap round-trip; the engine only permits the shortcut when it is
+observationally identical to scheduling a real wake-up (see the method's
+docstring), so event counts and execution order never depend on whether
+the shortcut was taken.
 """
 
 from __future__ import annotations
 
-import heapq
+import gc
+
+from heapq import heappop, heappush
 from itertools import count
+from math import inf
 from typing import Any, Callable
+
+_UNSET = object()
 
 
 class SimulationError(RuntimeError):
@@ -27,7 +54,8 @@ class Event:
     keeps them to :meth:`cancel` or to inspect :attr:`time`.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "_seq")
+    __slots__ = ("time", "fn", "args", "cancelled", "_seq", "_sim",
+                 "_fired")
 
     def __init__(self, time: float, seq: int,
                  fn: Callable[..., Any], args: tuple):
@@ -36,6 +64,8 @@ class Event:
         self.args = args
         self.cancelled = False
         self._seq = seq
+        self._sim: "Simulator | None" = None
+        self._fired = False
 
     def cancel(self) -> None:
         """Prevent the callback from firing.
@@ -43,6 +73,13 @@ class Event:
         Cancelling an event that already fired (or was already cancelled)
         is a harmless no-op, which keeps timer-management code simple.
         """
+        if not self.cancelled and not self._fired:
+            # first cancellation of a live event: its heap entry is now
+            # stale (lazily dropped), which the O(1) pending-event count
+            # must discount
+            sim = self._sim
+            if sim is not None:
+                sim._stale += 1
         self.cancelled = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -68,15 +105,31 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        # entries are (time, seq, Event-or-None, fn, args); seq is unique,
+        # so heap comparisons never reach the third element and checked
+        # and fast entries can share the queue
+        self._heap: list[tuple[float, int, "Event | None",
+                               Callable[..., Any], tuple]] = []
         self._seq = count()
         self._running = False
         self._stopped = False
-        #: Number of events executed so far (observability/tests).
+        self._until: float | None = None
+        #: Cancelled-but-not-yet-popped heap entries.  ``pending_events``
+        #: is ``len(_heap) - _stale``, so the hot scheduling and dispatch
+        #: paths never maintain a counter — only the cold cancel path and
+        #: the lazy drop of a cancelled entry touch this.
+        self._stale = 0
+        #: True while a run() without a ``max_events`` bound is active;
+        #: gates advance_inline so the safety valve stays exact.
+        self._inline_ok = False
+        #: Number of events executed so far (observability/tests).  Cell
+        #: trains drained via :meth:`advance_inline` count one event per
+        #: drained departure, so the total is invariant under the
+        #: fast-path optimisations.
         self.executed_events: int = 0
 
     # ------------------------------------------------------------------
-    # scheduling
+    # scheduling — checked path
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any],
                  *args: Any) -> Event:
@@ -92,21 +145,85 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, now is {self.now!r}")
         event = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, (time, event._seq, event))
+        event._sim = self
+        heappush(self._heap, (time, event._seq, event, fn, args))
         return event
+
+    # ------------------------------------------------------------------
+    # scheduling — kernel-internal fast path
+    # ------------------------------------------------------------------
+    def schedule_fast(self, delay: float, fn: Callable[..., Any],
+                      args: tuple = ()) -> None:
+        """Hot-path schedule: no checks, no :class:`Event` handle.
+
+        Contract (the caller's promise, unchecked here): ``delay`` is
+        non-negative and the callback is never cancelled.  Reserved for
+        kernel-internal transmitters; everything else uses
+        :meth:`schedule`.  Note ``args`` is a tuple argument, not
+        varargs.
+
+        The hottest kernel components bypass even this method and push
+        the same 5-tuple onto :attr:`_heap` themselves (aliasing
+        ``_heap`` and ``_seq``, both stable for the simulator's life);
+        the entry layout here is the contract they follow.
+        """
+        heappush(self._heap,
+                 (self.now + delay, next(self._seq), None, fn, args))
+
+    def schedule_fast_at(self, time: float, fn: Callable[..., Any],
+                         args: tuple = ()) -> None:
+        """Absolute-time twin of :meth:`schedule_fast` (same contract,
+        plus: ``time`` is not in the past)."""
+        heappush(self._heap, (time, next(self._seq), None, fn, args))
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def advance_inline(self, time: float) -> bool:
+        """From inside a callback: advance :attr:`now` to ``time`` and
+        count one executed event, iff that is observationally identical
+        to scheduling a wake-up at ``time`` and letting the loop pop it.
+
+        The shortcut is refused (returns False, state untouched) when
+
+        * no unbounded ``run()`` is active (``step()``, ``max_events``
+          runs, and direct calls keep exact semantics),
+        * :meth:`stop` was called,
+        * ``time`` lies beyond the active ``until`` bound, or
+        * any pending event is stamped at or before ``time`` — a tie
+          must run first, because a wake-up scheduled now would carry a
+          larger insertion sequence than anything already queued.
+
+        On refusal the caller schedules a real wake-up instead, which is
+        exactly what the pre-optimisation kernel did unconditionally;
+        event counts and execution order are therefore identical whether
+        or not the shortcut is ever taken.
+        """
+        if not self._inline_ok or self._stopped:
+            return False
+        until = self._until
+        if until is not None and time > until:
+            return False
+        heap = self._heap
+        if heap and heap[0][0] <= time:
+            return False
+        self.now = time
+        self.executed_events += 1
+        return True
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            _, _, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
+        heap = self._heap
+        while heap:
+            time, _seq, event, fn, args = heappop(heap)
+            if event is not None:
+                if event.cancelled:
+                    self._stale -= 1
+                    continue
+                event._fired = True
+            self.now = time
             self.executed_events += 1
-            event.fn(*event.args)
+            fn(*args)
             return True
         return False
 
@@ -118,6 +235,15 @@ class Simulator:
         and :attr:`now` is left at ``until`` when the bound is what ended
         the run (so probe series have a well-defined horizon).
         ``max_events`` is a safety valve for tests.
+
+        The cyclic garbage collector is paused for the duration of the
+        loop (and restored on exit, including on exceptions): the hot
+        path allocates heap-entry tuples and cells at a rate that makes
+        generational collection pauses a measurable fraction of the run,
+        while the kernel's objects are reclaimed by reference counting
+        alone.  Cyclic garbage created by callbacks is simply deferred
+        to the next collection after the run — observable outcomes are
+        unaffected.
         """
         if until is not None and until < self.now:
             raise SimulationError(f"until={until!r} is in the past")
@@ -125,28 +251,74 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         self._stopped = False
+        self._until = until
+        self._inline_ok = max_events is None
+        bound = inf if until is None else until
+        heap = self._heap
+        pop = heappop
+        # executed_events is accumulated in a local and flushed on exit;
+        # advance_inline keeps writing the attribute directly, so the
+        # flush adds the loop's own count on top.  Nothing reads the
+        # attribute while run() is on the stack.
         executed = 0
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while self._heap and not self._stopped:
-                # drop cancelled events before consulting the bound —
-                # otherwise a dead event at the head lets step() run a
-                # live event that lies beyond `until`
-                while self._heap and self._heap[0][2].cancelled:
-                    heapq.heappop(self._heap)
-                if not self._heap:
-                    break
-                if until is not None and self._heap[0][0] > until:
-                    break
-                if not self.step():
-                    break
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if max_events is None:
+                # unbounded loop: the hot one — no per-event budget check
+                while heap and not self._stopped:
+                    # pop first, push back on bound overrun: the overrun
+                    # happens at most once per run, the peek it saves is
+                    # paid per event.  Cancelled events are dropped before
+                    # the bound check so a dead head can't end the run
+                    # early.
+                    time, _seq, event, fn, args = entry = pop(heap)
+                    if event is not None:
+                        if event.cancelled:
+                            self._stale -= 1
+                            continue
+                        if time > bound:
+                            heappush(heap, entry)
+                            break
+                        event._fired = True
+                    elif time > bound:
+                        heappush(heap, entry)
+                        break
+                    self.now = time
+                    executed += 1
+                    fn(*args)
+            else:
+                remaining = max_events
+                while heap and not self._stopped:
+                    time, _seq, event, fn, args = entry = pop(heap)
+                    if event is not None:
+                        if event.cancelled:
+                            self._stale -= 1
+                            continue
+                        if time > bound:
+                            heappush(heap, entry)
+                            break
+                        event._fired = True
+                    elif time > bound:
+                        heappush(heap, entry)
+                        break
+                    self.now = time
+                    executed += 1
+                    fn(*args)
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
             if until is not None and not self._stopped and (
-                    not self._heap or self._heap[0][0] > until):
+                    not heap or heap[0][0] > bound):
                 self.now = max(self.now, until)
         finally:
+            if gc_was_enabled:
+                gc.enable()
+            self.executed_events += executed
             self._running = False
+            self._inline_ok = False
+            self._until = None
 
     def stop(self) -> None:
         """End the current :meth:`run` after the executing event returns."""
@@ -154,8 +326,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of non-cancelled events still queued."""
-        return sum(1 for _, _, e in self._heap if not e.cancelled)
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._stale
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Simulator now={self.now:.6f} "

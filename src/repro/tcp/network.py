@@ -129,14 +129,16 @@ class TcpNetwork:
                               start_time=start)
         sink = TcpSink(self.sim, name, delayed_ack=delayed_ack)
 
-        source.attach_link(PacketLink(
-            self.sim, self.access_rate, delay, hops[0], name=f"{name}.in"))
+        in_link = PacketLink(
+            self.sim, self.access_rate, delay, hops[0], name=f"{name}.in")
+        source.attach_link(in_link)
         to_source = PacketLink(
             self.sim, self.access_rate, delay, source, name=f"{name}.back")
         to_sink = PacketLink(
             self.sim, self.access_rate, delay, sink, name=f"{name}.out")
-        sink.attach_reverse(PacketLink(
-            self.sim, self.access_rate, delay, hops[-1], name=f"{name}.rev"))
+        rev_link = PacketLink(
+            self.sim, self.access_rate, delay, hops[-1], name=f"{name}.rev")
+        sink.attach_reverse(rev_link)
 
         for i, router in enumerate(hops):
             forward = (self.trunk(router, hops[i + 1])
@@ -144,6 +146,12 @@ class TcpNetwork:
             backward = (self.trunk(router, hops[i - 1])
                         if i > 0 else to_source)
             router.connect_flow(name, forward=forward, backward=backward)
+
+        # the in-link only carries this flow's data, the rev-link only
+        # its ACKs: both dispatch decisions are constant, so their
+        # deliveries skip the edge router's per-packet dispatch
+        in_link.bind_direct(hops[0].forward_receiver(name))
+        rev_link.bind_direct(hops[-1].backward_receiver(name))
 
         flow = Flow(name=name, source=source, sink=sink,
                     route=[h.name for h in hops],

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim import Event, PeriodicTimer, Probe, Simulator
+from repro.sim import PeriodicTimer, Probe, Simulator
 from repro.tcp.link import PacketSink
 from repro.tcp.segment import DEFAULT_MSS, Segment
 
@@ -104,7 +104,15 @@ class TcpRenoSource(PacketSink):
         self._timed_seq: int | None = None
         self._timed_at = 0.0
         self._timing_valid = False
-        self._rto_event: Event | None = None
+        # Retransmission timer without per-ACK cancel/reschedule churn:
+        # _rto_deadline is the authoritative timeout instant (None =
+        # disarmed) and _rto_anchor the earliest outstanding wake-up
+        # known to be at or before it.  Restarting the timer usually just
+        # moves the deadline; the anchor wake-up re-aims itself at the
+        # current deadline when it fires early (see _on_rto_fire).
+        self._rto_deadline: float | None = None
+        self._rto_anchor: float | None = None
+        self._rto_cb = self._on_rto_fire
 
         # the paper's CR stamp
         self.current_rate = 0.0   # Mb/s
@@ -112,6 +120,9 @@ class TcpRenoSource(PacketSink):
 
         self._last_quench_reaction = -float("inf")
         self.started = False
+        # per-ACK hot-path constants (params is frozen)
+        self._mss = mss
+        self._rwnd = params.rwnd
 
         # statistics / instruments
         self.segments_sent = 0
@@ -121,6 +132,7 @@ class TcpRenoSource(PacketSink):
         self.quenches_received = 0
         self.cwnd_probe = Probe(f"{flow}.cwnd")
         self.rate_probe = Probe(f"{flow}.cr")
+        self._cwnd_record = self.cwnd_probe.record
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -157,14 +169,21 @@ class TcpRenoSource(PacketSink):
         return int(min(self.cwnd, self.params.rwnd))
 
     def _try_send(self) -> None:
-        mss = self.params.mss
-        while self.snd_nxt + mss <= self.snd_una + self.window:
+        # window() inlined: cwnd and snd_una are fixed for the duration
+        # of the burst, so the send limit is hoisted out of the loop
+        mss = self._mss
+        cwnd = self.cwnd
+        rwnd = self._rwnd
+        limit = self.snd_una + int(cwnd if cwnd < rwnd else rwnd)
+        while self.snd_nxt + mss <= limit:
             self._transmit(self.snd_nxt)
             self.snd_nxt += mss
 
     def _transmit(self, seq: int, is_retransmit: bool = False) -> None:
-        segment = Segment(flow=self.flow, seq=seq, payload=self.params.mss,
-                          cr=self.current_rate)
+        # positional (flow, seq, payload, ack, cr): kwarg binding is
+        # measurable at one construction per data segment
+        segment = Segment(self.flow, seq, self._mss, None,
+                          self.current_rate)
         self.segments_sent += 1
         if is_retransmit:
             self.retransmits += 1
@@ -175,7 +194,7 @@ class TcpRenoSource(PacketSink):
                 self._timed_seq = seq
                 self._timed_at = self.sim.now
                 self._timing_valid = True
-        if self._rto_event is None:
+        if self._rto_deadline is None:
             self._arm_rto()
         self.link.receive(segment)
 
@@ -183,17 +202,41 @@ class TcpRenoSource(PacketSink):
     # retransmission timer
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
-        self._rto_event = self.sim.schedule(self.rto, self._on_timeout)
+        deadline = self.sim.now + self.rto
+        self._rto_deadline = deadline
+        anchor = self._rto_anchor
+        if anchor is None or anchor > deadline:
+            # no outstanding wake-up covers the deadline; plant one
+            self._rto_anchor = deadline
+            self.sim.schedule_fast_at(deadline, self._rto_cb)
 
     def _restart_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
         if self.flight_size > 0:
             self._arm_rto()
+        else:
+            self._rto_deadline = None
+
+    def _on_rto_fire(self) -> None:
+        now = self.sim.now
+        # exact compare on purpose: the anchor wake-up is recognised by
+        # firing at precisely the time it was planted for
+        anchor_hit = self._rto_anchor == now  # lint: disable=FLT001
+        if anchor_hit:
+            self._rto_anchor = None
+        deadline = self._rto_deadline
+        if deadline is None:
+            return
+        if now < deadline:
+            if anchor_hit:
+                # the deadline moved while we slept; re-aim at it so one
+                # live wake-up keeps marching toward the timeout
+                self._rto_anchor = deadline
+                self.sim.schedule_fast_at(deadline, self._rto_cb)
+            return
+        self._rto_deadline = None
+        self._on_timeout()
 
     def _on_timeout(self) -> None:
-        self._rto_event = None
         if self.flight_size == 0:
             return
         self.timeouts += 1
@@ -229,13 +272,13 @@ class TcpRenoSource(PacketSink):
             self._on_dupack()
 
     def _on_new_ack(self, segment: Segment) -> None:
-        mss = self.params.mss
         ack = segment.ack
         self._update_rtt(ack)
         self.snd_una = ack
         # after go-back-N a cumulative ACK can jump past snd_nxt (the
         # receiver had the tail buffered); never send below snd_una
-        self.snd_nxt = max(self.snd_nxt, self.snd_una)
+        if self.snd_nxt < ack:
+            self.snd_nxt = ack
         self.dupacks = 0
         if self.in_recovery:
             # Reno: the first new ACK ends recovery and deflates cwnd
@@ -243,8 +286,12 @@ class TcpRenoSource(PacketSink):
             self.cwnd = self.ssthresh
         elif not (self.params.respect_efci and segment.efci_echo):
             self._grow_window(segment)
-        self.cwnd_probe.record(self.sim.now, self.cwnd)
-        self._restart_rto()
+        self._cwnd_record(self.sim.now, self.cwnd)
+        # _restart_rto inlined (flight after a new ACK is snd_nxt - ack)
+        if self.snd_nxt > ack:
+            self._arm_rto()
+        else:
+            self._rto_deadline = None
         self._try_send()
 
     def _grow_window(self, segment: Segment) -> None:
@@ -253,7 +300,7 @@ class TcpRenoSource(PacketSink):
         Subclasses (Vegas) replace this policy; loss detection and
         recovery stay in the base class.
         """
-        mss = self.params.mss
+        mss = self._mss
         if self.cwnd < self.ssthresh:
             self.cwnd += mss                    # slow start
         else:

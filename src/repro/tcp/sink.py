@@ -34,6 +34,7 @@ class TcpSink(PacketSink):
         self.delayed_ack = delayed_ack
         self.delack_time = delack_time
         self.reverse: PacketSink | None = None
+        self._reverse_receive = None
         #: Next in-order byte expected == total in-order payload received.
         self.expected = 0
         self._out_of_order: dict[int, int] = {}  # seq -> payload
@@ -46,6 +47,7 @@ class TcpSink(PacketSink):
 
     def attach_reverse(self, link: PacketSink) -> None:
         self.reverse = link
+        self._reverse_receive = link.receive
 
     @property
     def bytes_received(self) -> int:
@@ -56,7 +58,7 @@ class TcpSink(PacketSink):
         if segment.flow != self.flow:
             raise ValueError(
                 f"sink {self.flow} got segment of flow {segment.flow!r}")
-        if not segment.is_data:
+        if segment.payload <= 0:
             raise ValueError(
                 f"sink {self.flow} got a non-data segment")
         if self.reverse is None:
@@ -65,7 +67,7 @@ class TcpSink(PacketSink):
 
         in_order = segment.seq == self.expected
         if in_order:
-            self.expected = segment.end_seq
+            self.expected = segment.seq + segment.payload
             while self.expected in self._out_of_order:
                 self.expected += self._out_of_order.pop(self.expected)
         elif segment.seq > self.expected:
@@ -98,5 +100,7 @@ class TcpSink(PacketSink):
         self._pending_segments = 0
         self._pending_efci = False
         self.acks_sent += 1
-        self.reverse.receive(Segment(
-            flow=self.flow, ack=self.expected, efci_echo=efci))
+        # positional (flow, seq, payload, ack, cr, efci, efci_echo):
+        # kwarg binding is measurable at one construction per ACK
+        self._reverse_receive(
+            Segment(self.flow, 0, 0, self.expected, 0.0, False, efci))

@@ -1,0 +1,36 @@
+"""PRF001 fixture: checked schedule() with per-cell delays on hot paths."""
+
+
+class Transmitter:
+    def __init__(self, sim, cell_time):
+        self.sim = sim
+        self.cell_time = cell_time
+
+    def kick(self):
+        self.sim.schedule(self.cell_time, self.fire)  # violation
+
+    def kick_zero_int(self):
+        self.sim.schedule(0, self.fire)  # violation
+
+    def kick_zero_float(self):
+        self.sim.schedule(0.0, self.fire)  # violation
+
+    def kick_local_name(self):
+        cell_time = self.cell_time
+        self.sim.schedule(cell_time, self.fire)  # violation
+
+    def kick_suppressed(self):
+        self.sim.schedule(self.cell_time, self.fire)  # lint: disable=PRF001
+
+    def kick_fast_is_fine(self):
+        self.sim.schedule_fast(self.cell_time, self.fire)
+
+    def kick_other_delay_is_fine(self):
+        self.sim.schedule(self.propagation, self.fire)
+
+    def kick_at_is_fine(self):
+        # schedule_at takes an absolute time, not a per-cell delay
+        self.sim.schedule_at(self.cell_time, self.fire)
+
+    def fire(self):
+        pass

@@ -1,0 +1,43 @@
+"""PRF001: hot-path checked-schedule rule."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_prf001_flagged_and_suppressible():
+    assert_rule_matches_fixture("PRF001", "prf001_checked_schedule.py",
+                                package="atm")
+
+
+def test_prf001_scoped_to_cell_and_packet_subpackages():
+    source = ("class C:\n"
+              "    def kick(self):\n"
+              "        self.sim.schedule(0.0, print)\n")
+    # the same call is fine outside repro/atm and repro/tcp
+    assert [f for f in lint_snippet(source, "src/repro/sim/mod.py")
+            if f.rule_id == "PRF001"] == []
+    assert [f for f in
+            lint_snippet(source, "src/repro/analysis/mod.py")
+            if f.rule_id == "PRF001"] == []
+    for pkg in ("atm", "tcp"):
+        findings = [f for f in
+                    lint_snippet(source, f"src/repro/{pkg}/mod.py")
+                    if f.rule_id == "PRF001"]
+        assert [f.line for f in findings] == [3]
+
+
+def test_prf001_ignores_variable_delays():
+    source = ("class C:\n"
+              "    def kick(self, delay):\n"
+              "        self.sim.schedule(delay, print)\n"
+              "        self.sim.schedule(self.propagation, print)\n")
+    assert [f for f in lint_snippet(source, "src/repro/atm/mod.py")
+            if f.rule_id == "PRF001"] == []
+
+
+def test_prf001_false_is_not_zero():
+    # bool is an int subclass; False == 0 must not trip the zero match
+    source = ("class C:\n"
+              "    def kick(self):\n"
+              "        self.sim.schedule(False, print)\n")
+    assert [f for f in lint_snippet(source, "src/repro/atm/mod.py")
+            if f.rule_id == "PRF001"] == []
