@@ -188,7 +188,10 @@ class AbrSource(CellSink):
         Pacing invariant: the next cell may go out at
         ``last_emit + 1/ACR``; if the pending emission (scheduled under a
         lower rate) sits later than that, move it up (the superseded
-        wake-up turns stale).
+        wake-up turns stale).  The replacement wake-up draws a fresh,
+        later heap sequence number than a cancel-and-reschedule kernel
+        would have — harmless unless its instant exactly ties an
+        unrelated event (see the tie caveat in docs/PERFORMANCE.md).
         """
         if self._next_emit is None or self._last_emit is None:
             return

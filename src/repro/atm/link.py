@@ -116,16 +116,26 @@ class Link:
     receive = send
 
     def receive_at(self, cell: Cell, arrival: float) -> None:
-        """Lossless-only: process an arrival known to happen at a future
-        instant.  An upstream port whose departure is separated from this
-        link only by a fixed propagation delay calls this at departure
-        time instead of scheduling an arrival event — the cursor update
-        and the delivery timestamp are computed from ``arrival`` exactly
-        as :meth:`send` would compute them from ``now`` when the arrival
-        event fired, so the delivery lands on the identical instant with
-        one event fewer per cell.  Only valid when this link's arrivals
-        all come from that single upstream port (FIFO order preserved).
+        """Process an arrival known to happen at a future instant.  An
+        upstream port whose departure is separated from this link only by
+        a fixed propagation delay calls this at departure time instead of
+        scheduling an arrival event — the cursor update and the delivery
+        timestamp are computed from ``arrival`` exactly as :meth:`send`
+        would compute them from ``now`` when the arrival event fired, so
+        the delivery lands on the identical instant with one event fewer
+        per cell.  Only valid when this link's arrivals all come from
+        that single upstream port (FIFO order preserved).
+
+        With loss injection active the composition shortcut is refused:
+        the rng must be drawn per departure on the evented path, so the
+        cell is handed to a real arrival event at ``arrival`` — the
+        identical event an unoptimised upstream would have scheduled
+        (composition sites also guard on ``loss_rate`` themselves; this
+        is the backstop that makes bypassing loss impossible).
         """
+        if self.loss_rate:
+            self.sim.schedule_fast_at(arrival, self.send, (cell,))
+            return
         busy_until = self._busy_until
         dep = (busy_until if busy_until > arrival else arrival) \
             + self.cell_time

@@ -135,8 +135,12 @@ class OutputPort(CellSink):
         self._sim_seq = sim._seq
         # downstream switches/links expose receive_at, which lets a
         # departure hand the cell over without an intermediate
-        # propagation event (see AtmSwitch.receive_at)
-        self._deliver_at = getattr(sink, "receive_at", None)
+        # propagation event (see AtmSwitch.receive_at).  A lossy sink
+        # must keep real arrival events — its rng draw happens on the
+        # evented path — so it never composes (same guard as
+        # AtmSwitch.receive_at and AbrSource.attach_link).
+        self._deliver_at = (None if getattr(sink, "loss_rate", 0.0)
+                            else getattr(sink, "receive_at", None))
 
         self.queue_probe = StepProbe(f"{name}.queue")
         self.abr_queue_probe = StepProbe(f"{name}.abr_queue")

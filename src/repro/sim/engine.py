@@ -256,11 +256,12 @@ class Simulator:
         bound = inf if until is None else until
         heap = self._heap
         pop = heappop
-        # executed_events is accumulated in a local and flushed on exit;
-        # advance_inline keeps writing the attribute directly, so the
-        # flush adds the loop's own count on top.  Nothing reads the
-        # attribute while run() is on the stack.
-        executed = 0
+        # executed_events is incremented on the attribute, event by
+        # event, so callbacks (probes, policy hooks, user timers) that
+        # read it mid-run always see the exact count — an accumulate-in-
+        # a-local variant was measured and rejected: the saving is noise
+        # next to the callback itself, and it makes the attribute
+        # silently stale for the duration of the run.
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
@@ -286,7 +287,7 @@ class Simulator:
                         heappush(heap, entry)
                         break
                     self.now = time
-                    executed += 1
+                    self.executed_events += 1
                     fn(*args)
             else:
                 remaining = max_events
@@ -304,7 +305,7 @@ class Simulator:
                         heappush(heap, entry)
                         break
                     self.now = time
-                    executed += 1
+                    self.executed_events += 1
                     fn(*args)
                     remaining -= 1
                     if remaining <= 0:
@@ -315,7 +316,6 @@ class Simulator:
         finally:
             if gc_was_enabled:
                 gc.enable()
-            self.executed_events += executed
             self._running = False
             self._inline_ok = False
             self._until = None

@@ -229,7 +229,12 @@ class TcpRenoSource(PacketSink):
         if now < deadline:
             if anchor_hit:
                 # the deadline moved while we slept; re-aim at it so one
-                # live wake-up keeps marching toward the timeout
+                # live wake-up keeps marching toward the timeout.  The
+                # re-aim draws its heap sequence number here, at fire
+                # time, later than the pre-optimisation kernel drew it
+                # (at restart time) — harmless unless the deadline
+                # instant exactly ties another event's timestamp (see
+                # the tie caveat in docs/PERFORMANCE.md).
                 self._rto_anchor = deadline
                 self.sim.schedule_fast_at(deadline, self._rto_cb)
             return

@@ -107,8 +107,11 @@ class PacketPort(PacketSink):
         self._sim_seq = sim._seq
         # downstream routers/links expose receive_at, which lets a
         # departure hand the packet over without an intermediate
-        # propagation event (see Router.receive_at)
-        self._deliver_at = getattr(sink, "receive_at", None)
+        # propagation event (see Router.receive_at).  Guarded against
+        # lossy sinks for symmetry with OutputPort — no packet sink is
+        # lossy today, but composition must never bypass loss injection.
+        self._deliver_at = (None if getattr(sink, "loss_rate", 0.0)
+                            else getattr(sink, "receive_at", None))
 
         #: Queue length in packets — the paper's router figures.
         self.queue_probe = StepProbe(f"{name}.queue")

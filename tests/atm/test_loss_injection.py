@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.atm import AtmNetwork, Cell, Link
+from repro.atm import AtmNetwork, Cell, Link, OutputPort
 from repro.core import PhantomAlgorithm, phantom_equilibrium_rate
 from repro.sim import Simulator
 
@@ -34,6 +34,40 @@ def test_zero_loss_by_default():
     assert link.delivered == 100
 
 
+def test_output_port_into_lossy_link_keeps_loss():
+    """Composition regression: a port wired to a lossy link must not
+    bypass loss injection via the link's ``receive_at`` fast path —
+    the rng is drawn on the evented path only."""
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=0.0, sink=sink,
+                loss_rate=0.5, rng=random.Random(3))
+    port = OutputPort(sim, "P", rate_mbps=150.0, sink=link,
+                      propagation=1e-6)
+    assert port._deliver_at is None  # lossy sinks never compose
+    for i in range(1000):
+        port.receive(Cell(vc="A", seq=i))
+    sim.run()
+    assert port.departures == 1000
+    assert link.lost + link.delivered == 1000
+    assert 350 < link.lost < 650  # ~50%
+
+
+def test_lossy_link_receive_at_falls_back_to_evented_path():
+    """Backstop regression: even a direct ``receive_at`` on a lossy
+    link must route through the evented loss path, not the lossless
+    delivery shortcut."""
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_mbps=150.0, propagation=0.0, sink=sink,
+                loss_rate=0.5, rng=random.Random(3))
+    for i in range(1000):
+        link.receive_at(Cell(vc="A", seq=i), i * link.cell_time)
+    sim.run()
+    assert link.lost + link.delivered == 1000
+    assert 350 < link.lost < 650  # ~50%
+
+
 def test_invalid_loss_rate():
     sim = Simulator()
     with pytest.raises(ValueError):
@@ -51,13 +85,21 @@ def test_phantom_converges_despite_rm_loss():
     net.connect("S1", "S2")
     a = net.add_session("A", route=["S1", "S2"])
     b = net.add_session("B", route=["S1", "S2"])
-    # inject loss by wrapping each session's backward access link
+    # inject loss by wrapping each session's backward access link; the
+    # switch dispatches through its per-VC bound-method cache, so the
+    # cache must be rewired along with the route table
+    lossy_links = []
     for i, session in enumerate((a, b)):
         switch = net.switches["S1"]
         lossy = Link(net.sim, 150.0, 1e-5, session.source,
                      loss_rate=0.01, rng=random.Random(10 + i))
         switch._backward[session.vc] = lossy
+        switch._backward_recv[session.vc] = lossy.receive
+        lossy_links.append(lossy)
     net.run(until=0.4)
+    # the injection itself must be live (guards against dispatch-cache
+    # rot silently turning this test into a no-loss run)
+    assert sum(link.lost for link in lossy_links) > 0
     expected = phantom_equilibrium_rate(150.0, 2, 5.0)
     assert a.source.acr == pytest.approx(expected, rel=0.2)
     assert b.source.acr == pytest.approx(expected, rel=0.2)
