@@ -71,8 +71,13 @@ class AtmNetwork:
                  buffer_cells: int | None = None,
                  meter_interval: float = 1e-3,
                  sim: Simulator | None = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 tracer=None):
         self.sim = sim or Simulator()
+        # install before any component is built: ports/switches/
+        # algorithms capture their gated tracer at construction
+        if tracer is not None:
+            self.sim.tracer = tracer
         #: Named random streams for stochastic traffic (VBR etc.), so each
         #: stream's sample path is independent of creation order.
         self.rng = RngStreams(seed)

@@ -133,6 +133,13 @@ class OutputPort(CellSink):
         # Simulator.schedule_fast for the entry-layout contract)
         self._sim_heap = sim._heap
         self._sim_seq = sim._seq
+        # trace hook, captured pre-gated (None unless a tracer is
+        # installed AND the "port" category is on), so the per-cell
+        # paths pay one is-None check — same discipline as the
+        # algorithm hooks above (lint rule OBS001)
+        tracer = sim.tracer
+        self._tracer = (tracer.gate("port") if tracer is not None
+                        else None)
         # downstream switches/links expose receive_at, which lets a
         # departure hand the cell over without an intermediate
         # propagation event (see AtmSwitch.receive_at).  A lossy sink
@@ -185,6 +192,10 @@ class OutputPort(CellSink):
             self.drops += 1
             self.drops_by_vc[cell.vc] += 1
             self.drops_probe.record(self.sim.now, self.drops)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.sim.now, "port.drop", self.name,
+                            vc=cell.vc, qlen=self._qlen, drops=self.drops)
             return
         level = cell.priority
         max_level = self._max_level
@@ -219,6 +230,10 @@ class OutputPort(CellSink):
             else:
                 times.append(now)
                 vals.append(value)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(now, "port.enqueue", self.name,
+                        vc=cell.vc, qlen=qlen)
         if not self._busy:
             self._busy = True
             self._serving = self._queues[level]

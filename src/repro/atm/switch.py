@@ -49,6 +49,10 @@ class AtmSwitch(CellSink):
         self._forward_recv: dict[str, Callable] = {}
         self._backward_recv: dict[str, Callable] = {}
         self._mark: dict[str, Callable | None] = {}
+        # trace hook, pre-gated on the "switch" category (OBS001)
+        tracer = sim.tracer
+        self._tracer = (tracer.gate("switch") if tracer is not None
+                        else None)
 
     def connect_session(self, vc: str, forward: CellSink,
                         backward: CellSink) -> None:
@@ -87,7 +91,14 @@ class AtmSwitch(CellSink):
                     f"vc {cell.vc!r}") from None
             mark = self._mark[cell.vc]
             if mark is not None:
-                mark(cell)
+                tracer = self._tracer
+                if tracer is not None:
+                    er_in = cell.er
+                    mark(cell)
+                    tracer.emit(self.sim.now, "switch.mark", self.name,
+                                vc=cell.vc, er_in=er_in, er_out=cell.er)
+                else:
+                    mark(cell)
             backward_recv(cell)
             return
         try:

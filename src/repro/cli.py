@@ -13,6 +13,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
+import time
 from typing import Sequence
 
 from repro.analysis import format_table, jain_index, print_series
@@ -21,6 +23,7 @@ from repro.baselines import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
 from repro.core import (BinaryPhantomAlgorithm, PhantomAlgorithm,
                         max_min_allocation)
 from repro.lint import cli as lint_cli
+from repro.obs import cli as obs_cli
 from repro.scenarios import (drop_tail_policy, many_flows, mixed_stacks,
                              on_off, parking_lot, rtt_fairness, rtt_spread,
                              selective_discard_policy, selective_efci_policy,
@@ -70,13 +73,45 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_obs_artifacts(command: str, params: dict, run, tracer,
+                         wall_s: float, trace_path: str,
+                         manifest_path: str, seed=None) -> None:
+    """Write the run's trace (when recorded) and manifest (unless
+    disabled with ``--manifest ''``)."""
+    from repro import obs
+
+    if tracer is not None and trace_path:
+        obs.write_trace_jsonl(trace_path, tracer,
+                              meta={"command": command, **params})
+        print(f"\nwrote {trace_path} ({len(tracer.events)} events)")
+    if manifest_path:
+        registry = obs.registry_from_run(run)
+        manifest = obs.build_manifest(
+            command=command, params=params, seed=seed,
+            metrics=registry.summary(), wall_s=wall_s,
+            trace_path=trace_path or None)
+        obs.write_manifest(manifest_path, manifest)
+        print(f"wrote {manifest_path}")
+
+
 def _cmd_atm(args: argparse.Namespace) -> int:
     algorithm = ATM_ALGORITHMS[args.algorithm]
     scenario = ATM_SCENARIOS[args.scenario]
     kwargs = {"duration": args.duration}
     if args.scenario == "staggered" and args.sessions is not None:
         kwargs["n_sessions"] = args.sessions
+    if args.scenario == "onoff" and args.seed is not None:
+        kwargs["seed"] = args.seed
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        tracer = Tracer()
+        kwargs["tracer"] = tracer
+    # wall-clock read is the measurement itself (CLI layer, not
+    # simulation code); the simulated outcome stays deterministic
+    start = time.perf_counter()  # lint: disable=DET002
     run = scenario(algorithm, **kwargs)
+    wall_s = time.perf_counter() - start  # lint: disable=DET002
 
     series = {f"ACR {vc} [Mb/s]": s.acr_probe
               for vc, s in run.net.sessions.items()}
@@ -97,13 +132,29 @@ def _cmd_atm(args: argparse.Namespace) -> int:
     print(f"utilisation: {run.utilization():.3f}")
     print(f"queue      : peak {queue['max']:.0f}, "
           f"mean {queue['mean']:.1f} cells")
+    params = {"scenario": args.scenario, "algorithm": args.algorithm,
+              "duration": args.duration}
+    if args.sessions is not None:
+        params["sessions"] = args.sessions
+    _write_obs_artifacts("atm", params, run, tracer, wall_s,
+                         args.trace, args.manifest,
+                         seed=kwargs.get("seed"))
     return 0
 
 
 def _cmd_tcp(args: argparse.Namespace) -> int:
     policy = TCP_POLICIES[args.policy]
     scenario = TCP_SCENARIOS[args.scenario]
-    run = scenario(policy(), duration=args.duration)
+    kwargs = {"duration": args.duration}
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+        tracer = Tracer()
+        kwargs["tracer"] = tracer
+    # wall-clock read is the measurement itself (CLI layer); see _cmd_atm
+    start = time.perf_counter()  # lint: disable=DET002
+    run = scenario(policy(), **kwargs)
+    wall_s = time.perf_counter() - start  # lint: disable=DET002
 
     rates = run.goodputs()
     print(format_table(
@@ -114,6 +165,10 @@ def _cmd_tcp(args: argparse.Namespace) -> int:
     print(f"total       : {run.total_goodput():.2f} Mb/s")
     print(f"bottleneck q: peak {run.queue_stats()['max']:.0f}, "
           f"mean {run.queue_stats()['mean']:.1f} packets")
+    params = {"scenario": args.scenario, "policy": args.policy,
+              "duration": args.duration}
+    _write_obs_artifacts("tcp", params, run, tracer, wall_s,
+                         args.trace, args.manifest)
     return 0
 
 
@@ -180,7 +235,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     if args.output:
         perf.write_report(args.output, report)
         print(f"\nwrote {args.output}")
+        # companion run manifest, so every benchmark number carries its
+        # provenance (parameters, git rev, platform)
+        from repro import obs
+
+        metrics = {f"{name}.{key}": value
+                   for name, entry in sorted(report["workloads"].items())
+                   for key, value in sorted(entry.items())
+                   if isinstance(value, (int, float))}
+        manifest = obs.build_manifest(
+            command="perf",
+            params={"workload": sorted(report["workloads"]),
+                    "scale": args.scale, "repeats": args.repeats},
+            metrics=metrics)
+        manifest_path = os.path.splitext(args.output)[0] + ".manifest.json"
+        obs.write_manifest(manifest_path, manifest)
+        print(f"wrote {manifest_path}")
     return status
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    return obs_cli.run(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -200,6 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
     atm.add_argument("--duration", type=float, default=0.3)
     atm.add_argument("--sessions", type=int, default=None,
                      help="session count (staggered scenario only)")
+    atm.add_argument("--seed", type=int, default=None,
+                     help="RNG seed (onoff scenario only)")
+    atm.add_argument("--trace", default="",
+                     help="record a JSONL trace to this path (enables "
+                          "tracing; see docs/OBSERVABILITY.md)")
+    atm.add_argument("--manifest", default="repro_atm.manifest.json",
+                     help="run manifest path; '' to skip")
     atm.set_defaults(fn=_cmd_atm)
 
     tcp = sub.add_parser("tcp", help="run a TCP scenario")
@@ -208,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
     tcp.add_argument("--policy", choices=sorted(TCP_POLICIES),
                      default="selective-discard")
     tcp.add_argument("--duration", type=float, default=20.0)
+    tcp.add_argument("--trace", default="",
+                     help="record a JSONL trace to this path (enables "
+                          "tracing; see docs/OBSERVABILITY.md)")
+    tcp.add_argument("--manifest", default="repro_tcp.manifest.json",
+                     help="run manifest path; '' to skip")
     tcp.set_defaults(fn=_cmd_tcp)
 
     maxmin = sub.add_parser(
@@ -247,6 +334,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allowed wall/sim-sec regression factor "
                            "(default 2.0)")
     perf.set_defaults(fn=_cmd_perf)
+
+    obs = sub.add_parser(
+        "obs", help="record, inspect, convert, and diff traces and run "
+                    "manifests (see docs/OBSERVABILITY.md)")
+    obs_cli.add_arguments(obs)
+    obs.set_defaults(fn=_cmd_obs)
     return parser
 
 

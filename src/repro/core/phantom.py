@@ -42,6 +42,9 @@ class PhantomAlgorithm(PortAlgorithm):
         self.timer: PeriodicTimer | None = None
         #: The "MACR" series in the paper's figures.
         self.macr_probe = Probe("macr")
+        # trace hook; captured in on_attach (no sim yet), None-gated on
+        # the "macr" category (OBS001)
+        self._tracer = None
 
     # ------------------------------------------------------------------
     def on_attach(self) -> None:
@@ -52,11 +55,18 @@ class PhantomAlgorithm(PortAlgorithm):
         self.timer = PeriodicTimer(self.sim, self.params.interval,
                                    self._on_interval)
         self.timer.start()
+        tracer = self.sim.tracer
+        self._tracer = (tracer.gate("macr") if tracer is not None
+                        else None)
 
     def _on_interval(self, _timer: PeriodicTimer) -> None:
         residual = self.meter.close_interval()
         macr = self.filter.update(residual)
         self.macr_probe.record(self.sim.now, macr)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, "macr.update", self.macr_probe.name,
+                        macr=macr, residual=residual, dev=self.filter.dev)
 
     # ------------------------------------------------------------------
     @property

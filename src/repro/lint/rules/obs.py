@@ -1,0 +1,115 @@
+"""Observability rules (OBS*).
+
+Tracing (:mod:`repro.obs.trace`) is opt-in: components capture a
+pre-gated tracer at construction (``None`` when tracing is off or the
+category is filtered) and every emit point must hide behind one
+``is None`` check, so instrumented builds with tracing disabled pay
+nothing measurable.  These rules catch the easy way to erode that: a
+bare ``tracer.emit(...)`` on a per-cell path, which either crashes
+(tracer is ``None``) or — once someone "fixes" it by always installing
+a tracer — silently makes tracing mandatory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, dotted_name, last_attr
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Receiver names that identify a trace-bus emit call.  The convention
+#: (docs/OBSERVABILITY.md) is a local ``tracer`` hoisted from the
+#: captured ``self._tracer``.
+_TRACER_NAMES = frozenset({"tracer", "_tracer"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _receiver(call: ast.Call) -> str | None:
+    """Dotted name of the object ``emit`` is called on, if nameable."""
+    if not isinstance(call.func, ast.Attribute):
+        return None
+    return dotted_name(call.func.value)
+
+
+def _is_none_const(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _compares_to_none(test: ast.AST, recv: str,
+                      op_type: type[ast.cmpop]) -> bool:
+    """``test`` is (or conjoins) ``<recv> <op> None``."""
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], op_type)
+            and _is_none_const(test.comparators[0])
+            and dotted_name(test.left) == recv):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_compares_to_none(v, recv, op_type)
+                   for v in test.values)
+    return False
+
+
+def _is_gated(ctx: FileContext, call: ast.Call, recv: str) -> bool:
+    """The call sits under a ``recv is not None`` guard (or in the else
+    branch of a ``recv is None`` test) within its enclosing function."""
+    child: ast.AST = call
+    node = ctx.parent(call)
+    while node is not None and not isinstance(node, _FUNCTION_NODES):
+        if isinstance(node, ast.If):
+            in_body = any(child is stmt for stmt in node.body)
+            in_orelse = any(child is stmt for stmt in node.orelse)
+            if in_body and _compares_to_none(node.test, recv, ast.IsNot):
+                return True
+            if in_orelse and _compares_to_none(node.test, recv, ast.Is):
+                return True
+        elif isinstance(node, ast.IfExp):
+            if (child is node.body
+                    and _compares_to_none(node.test, recv, ast.IsNot)):
+                return True
+            if (child is node.orelse
+                    and _compares_to_none(node.test, recv, ast.Is)):
+                return True
+        child = node
+        node = ctx.parent(node)
+    return False
+
+
+@register
+class UngatedEmitRule(Rule):
+    """OBS001: trace emit on a hot path without an ``is None`` gate.
+
+    In the cell/packet/engine subpackages every ``tracer.emit(...)``
+    must be dominated by a ``tracer is not None`` check on the same
+    receiver — the one-check discipline that makes disabled tracing
+    free (and non-crashing, since captured tracers *are* ``None`` in
+    untraced runs).
+    """
+
+    id = "OBS001"
+    severity = Severity.ERROR
+    summary = ("trace emit without an 'is None' gate on a hot path; "
+               "hoist the tracer into a local and guard the emit with "
+               "'if tracer is not None:'")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("atm", "tcp", "sim", "core")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and last_attr(node) == "emit"):
+                continue
+            recv = _receiver(node)
+            if recv is None or recv.split(".")[-1] not in _TRACER_NAMES:
+                continue
+            if _is_gated(ctx, node, recv):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{recv}.emit(...) is not guarded by "
+                f"'{recv} is not None'; untraced runs keep the tracer "
+                "None, so an ungated emit crashes — and gating is what "
+                "keeps disabled tracing at one is-None check")

@@ -1,0 +1,84 @@
+"""Chrome ``trace_event`` converter.
+
+Turns a recorded JSONL trace into the JSON object format consumed by
+``about://tracing`` and Perfetto (https://ui.perfetto.dev): each trace
+event becomes an instant event on a per-component track, and the kinds
+that carry a natural scalar (queue length, MACR) additionally become
+counter events, so the queue build-up and the MACR staircase render as
+graphs under the event track.
+
+Simulation timestamps are seconds; ``trace_event`` wants microseconds,
+so ``ts`` is scaled by 1e6.  Everything lives in one process (pid 1)
+with one thread id per component, named via metadata events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+#: Event kinds whose named field renders well as a counter track.
+COUNTER_FIELDS = {
+    "port.enqueue": "qlen",
+    "port.drop": "qlen",
+    "router.drop": "qlen",
+    "macr.update": "macr",
+    "tcp.timeout": "cwnd",
+}
+
+#: Microseconds per simulated second (trace_event's time unit).
+_US_PER_S = 1e6
+
+
+def chrome_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Convert trace event dicts into ``trace_event`` records."""
+    out: list[dict[str, Any]] = []
+    tids: dict[str, int] = {}
+    for event in events:
+        comp = event["comp"]
+        tid = tids.get(comp)
+        if tid is None:
+            tid = tids[comp] = len(tids) + 1
+            out.append({
+                "ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                "args": {"name": comp},
+            })
+        kind = event["kind"]
+        ts_us = event["ts"] * _US_PER_S
+        fields = event.get("fields", {})
+        out.append({
+            "name": kind,
+            "cat": kind.split(".", 1)[0],
+            "ph": "i",
+            "s": "t",
+            "ts": ts_us,
+            "pid": 1,
+            "tid": tid,
+            "args": fields,
+        })
+        counter_field = COUNTER_FIELDS.get(kind)
+        if counter_field is not None and counter_field in fields:
+            out.append({
+                "name": f"{comp} {counter_field}",
+                "ph": "C",
+                "ts": ts_us,
+                "pid": 1,
+                "args": {counter_field: fields[counter_field]},
+            })
+    return out
+
+
+def chrome_trace(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """The full ``trace_event`` JSON object."""
+    return {
+        "traceEvents": chrome_events(events),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(path: str,
+                       events: Iterable[dict[str, Any]]) -> None:
+    """Write a Perfetto-loadable trace file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(events), fh)
+        fh.write("\n")

@@ -144,10 +144,15 @@ def trace_from_run(name: str, scale: float, run: Any) -> dict[str, Any]:
     }
 
 
-def capture(name: str, scale: float) -> dict[str, Any]:
-    """Run workload ``name`` at ``scale`` and return its golden trace."""
+def capture(name: str, scale: float, tracer=None) -> dict[str, Any]:
+    """Run workload ``name`` at ``scale`` and return its golden trace.
+
+    ``tracer`` installs a :class:`repro.obs.Tracer` on the run, which
+    lets the golden suite assert that observation changes no simulated
+    outcome: the digests of a traced run must equal the untraced ones.
+    """
     workload = WORKLOADS[name]
-    run = workload.build_and_run(scale)
+    run = workload.build_and_run(scale, tracer=tracer)
     return trace_from_run(name, scale, run)
 
 

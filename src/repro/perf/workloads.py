@@ -44,7 +44,9 @@ class Workload:
     #: Simulated horizon at ``scale=1`` (seconds).
     sim_seconds: float
     #: ``scale -> run handle`` (an AtmRun or TcpRun, already executed).
-    build_and_run: Callable[[float], Any]
+    #: Accepts an optional ``tracer`` keyword (a
+    #: :class:`repro.obs.Tracer`) for instrumented runs.
+    build_and_run: Callable[..., Any]
     #: ``run handle -> cells (or packets) pushed through the bottleneck``.
     cells: Callable[[Any], int]
 
@@ -57,20 +59,21 @@ def _check_scale(scale: float) -> float:
     return scale
 
 
-def _run_e01(scale: float):
+def _run_e01(scale: float, tracer=None):
     return staggered_start(PhantomAlgorithm, n_sessions=2, stagger=0.03,
-                           duration=0.25 * _check_scale(scale))
+                           duration=0.25 * _check_scale(scale),
+                           tracer=tracer)
 
 
-def _run_e02(scale: float):
+def _run_e02(scale: float, tracer=None):
     return on_off(PhantomAlgorithm, greedy=1, bursty=2, on_time=0.02,
                   off_time=0.02, seed=7,
-                  duration=0.4 * _check_scale(scale))
+                  duration=0.4 * _check_scale(scale), tracer=tracer)
 
 
-def _run_e11(scale: float):
+def _run_e11(scale: float, tracer=None):
     return many_flows(drop_tail_policy(), n_flows=4,
-                      duration=25.0 * _check_scale(scale))
+                      duration=25.0 * _check_scale(scale), tracer=tracer)
 
 
 def _atm_cells(run) -> int:

@@ -26,6 +26,7 @@ def staggered_start(algorithm_factory: AlgorithmFactory,
                     duration: float = 0.25,
                     link_rate: float = 150.0,
                     params: AbrParams = PAPER_PARAMS,
+                    tracer=None,
                     run: bool = True) -> AtmRun:
     """n greedy sessions joining one bottleneck ``stagger`` seconds apart.
 
@@ -35,7 +36,7 @@ def staggered_start(algorithm_factory: AlgorithmFactory,
     if n_sessions < 1:
         raise ValueError(f"need >= 1 session, got {n_sessions!r}")
     net = AtmNetwork(algorithm_factory=algorithm_factory,
-                     link_rate=link_rate)
+                     link_rate=link_rate, tracer=tracer)
     net.add_switch("S1")
     net.add_switch("S2")
     net.connect("S1", "S2")
@@ -54,6 +55,7 @@ def rtt_spread(algorithm_factory: AlgorithmFactory,
                duration: float = 0.3,
                link_rate: float = 150.0,
                params: AbrParams = PAPER_PARAMS,
+               tracer=None,
                run: bool = True) -> AtmRun:
     """Sessions with vastly different round-trip times share a link.
 
@@ -62,7 +64,7 @@ def rtt_spread(algorithm_factory: AlgorithmFactory,
     thresholds produce RTT-dependent shares [CGBS94].
     """
     net = AtmNetwork(algorithm_factory=algorithm_factory,
-                     link_rate=link_rate)
+                     link_rate=link_rate, tracer=tracer)
     net.add_switch("S1")
     net.add_switch("S2")
     net.connect("S1", "S2")
@@ -85,6 +87,7 @@ def on_off(algorithm_factory: AlgorithmFactory,
            link_rate: float = 150.0,
            params: AbrParams = PAPER_PARAMS,
            seed: int | None = 7,
+           tracer=None,
            run: bool = True) -> AtmRun:
     """Greedy sessions sharing a link with on/off sessions (Fig. 4/22).
 
@@ -92,7 +95,7 @@ def on_off(algorithm_factory: AlgorithmFactory,
     durations are exponential with the given means.
     """
     net = AtmNetwork(algorithm_factory=algorithm_factory,
-                     link_rate=link_rate)
+                     link_rate=link_rate, tracer=tracer)
     net.add_switch("S1")
     net.add_switch("S2")
     net.connect("S1", "S2")
@@ -116,6 +119,7 @@ def parking_lot(algorithm_factory: AlgorithmFactory,
                 duration: float = 0.3,
                 link_rate: float = 150.0,
                 params: AbrParams = PAPER_PARAMS,
+                tracer=None,
                 run: bool = True) -> AtmRun:
     """The multi-hop "beat-down" configuration.
 
@@ -127,7 +131,7 @@ def parking_lot(algorithm_factory: AlgorithmFactory,
     if hops < 2:
         raise ValueError(f"need >= 2 hops, got {hops!r}")
     net = AtmNetwork(algorithm_factory=algorithm_factory,
-                     link_rate=link_rate)
+                     link_rate=link_rate, tracer=tracer)
     names = [f"S{i}" for i in range(1, hops + 2)]
     for name in names:
         net.add_switch(name)
@@ -149,6 +153,7 @@ def transient(algorithm_factory: AlgorithmFactory,
               leave_at: float = 0.25,
               link_rate: float = 150.0,
               params: AbrParams = PAPER_PARAMS,
+              tracer=None,
               run: bool = True) -> AtmRun:
     """A base session runs throughout; a second joins, then departs.
 
@@ -158,7 +163,7 @@ def transient(algorithm_factory: AlgorithmFactory,
     if not 0 < join_at < leave_at < duration:
         raise ValueError("need 0 < join_at < leave_at < duration")
     net = AtmNetwork(algorithm_factory=algorithm_factory,
-                     link_rate=link_rate)
+                     link_rate=link_rate, tracer=tracer)
     net.add_switch("S1")
     net.add_switch("S2")
     net.connect("S1", "S2")

@@ -77,13 +77,15 @@ def rtt_fairness(policy_factory: PolicyFactory,
                  duration: float = 30.0,
                  trunk_rate: float = 10.0,
                  params: RenoParams = TCP_RENO_PARAMS,
+                 tracer=None,
                  run: bool = True) -> TcpRun:
     """Flows with different RTTs share one bottleneck (Fig. 14).
 
     Drop-tail starves the long-RTT flow; Selective Discard hands both the
     same grant.
     """
-    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate,
+                     tracer=tracer)
     net.add_router("R1")
     net.add_router("R2")
     net.connect("R1", "R2")
@@ -102,12 +104,14 @@ def tcp_parking_lot(policy_factory: PolicyFactory,
                     duration: float = 30.0,
                     trunk_rate: float = 10.0,
                     params: RenoParams = TCP_RENO_PARAMS,
+                    tracer=None,
                     run: bool = True) -> TcpRun:
     """Multi-router beat-down test (Fig. 17): one long flow crosses all
     routers, one cross flow per trunk."""
     if hops < 2:
         raise ValueError(f"need >= 2 hops, got {hops!r}")
-    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate,
+                     tracer=tracer)
     names = [f"R{i}" for i in range(1, hops + 2)]
     for name in names:
         net.add_router(name)
@@ -128,6 +132,7 @@ def vegas_thresholds(policy_factory: PolicyFactory,
                      modest: tuple[float, float] = (1.0, 2.0),
                      duration: float = 30.0,
                      trunk_rate: float = 10.0,
+                     tracer=None,
                      run: bool = True) -> TcpRun:
     """The paper's Vegas sensitivity example (§4 discussion of [BP95]).
 
@@ -138,7 +143,8 @@ def vegas_thresholds(policy_factory: PolicyFactory,
     inflated RTT and retreats.  A Phantom router mechanism equalises
     them by rate, independent of source thresholds.
     """
-    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate,
+                     tracer=tracer)
     net.add_router("R1")
     net.add_router("R2")
     net.connect("R1", "R2")
@@ -158,6 +164,7 @@ def vegas_thresholds(policy_factory: PolicyFactory,
 def mixed_stacks(policy_factory: PolicyFactory,
                  duration: float = 30.0,
                  trunk_rate: float = 10.0,
+                 tracer=None,
                  run: bool = True) -> TcpRun:
     """Reno, Tahoe and Vegas sharing a bottleneck.
 
@@ -165,7 +172,8 @@ def mixed_stacks(policy_factory: PolicyFactory,
     "easily inter-operates with current TCP flow control mechanisms",
     equalising flows whatever source stack they run.
     """
-    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate,
+                     tracer=tracer)
     net.add_router("R1")
     net.add_router("R2")
     net.connect("R1", "R2")
@@ -185,6 +193,7 @@ def two_way(policy_factory: PolicyFactory,
             flows_per_direction: int = 2,
             duration: float = 30.0,
             trunk_rate: float = 10.0,
+            tracer=None,
             run: bool = True) -> TcpRun:
     """Data in both directions: each trunk queue carries one direction's
     data *and* the other direction's ACKs.
@@ -197,7 +206,8 @@ def two_way(policy_factory: PolicyFactory,
     if flows_per_direction < 1:
         raise ValueError(
             f"need >= 1 flow per direction, got {flows_per_direction!r}")
-    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate,
+                     tracer=tracer)
     net.add_router("R1")
     net.add_router("R2")
     net.connect("R1", "R2")
@@ -219,11 +229,13 @@ def many_flows(policy_factory: PolicyFactory,
                trunk_rate: float = 10.0,
                access_delay: float = 2e-3,
                params: RenoParams = TCP_RENO_PARAMS,
+               tracer=None,
                run: bool = True) -> TcpRun:
     """n equal flows through one bottleneck — goodput split and queue."""
     if n_flows < 1:
         raise ValueError(f"need >= 1 flow, got {n_flows!r}")
-    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate)
+    net = TcpNetwork(policy_factory=policy_factory, trunk_rate=trunk_rate,
+                     tracer=tracer)
     net.add_router("R1")
     net.add_router("R2")
     net.connect("R1", "R2")

@@ -127,6 +127,14 @@ class Simulator:
         #: drained departure, so the total is invariant under the
         #: fast-path optimisations.
         self.executed_events: int = 0
+        #: Structured trace bus (:class:`repro.obs.Tracer`) or None.
+        #: When set, the engine emits ``engine.schedule`` per scheduling
+        #: call and ``engine.event`` per executed event (category
+        #: "engine").  Departures drained via :meth:`advance_inline`
+        #: stay inside their callback and are not re-emitted — the
+        #: component-level emits (port/link) cover them.  With no tracer
+        #: the cost is one ``is None`` check per event (OBS001).
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # scheduling — checked path
@@ -147,6 +155,11 @@ class Simulator:
         event = Event(time, next(self._seq), fn, args)
         event._sim = self
         heappush(self._heap, (time, event._seq, event, fn, args))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled("engine"):
+            tracer.emit(self.now, "engine.schedule", "sim", at=time,
+                        fn=getattr(fn, "__qualname__",
+                                   type(fn).__name__))
         return event
 
     # ------------------------------------------------------------------
@@ -169,12 +182,23 @@ class Simulator:
         """
         heappush(self._heap,
                  (self.now + delay, next(self._seq), None, fn, args))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled("engine"):
+            tracer.emit(self.now, "engine.schedule", "sim",
+                        at=self.now + delay,
+                        fn=getattr(fn, "__qualname__",
+                                   type(fn).__name__), fast=True)
 
     def schedule_fast_at(self, time: float, fn: Callable[..., Any],
                          args: tuple = ()) -> None:
         """Absolute-time twin of :meth:`schedule_fast` (same contract,
         plus: ``time`` is not in the past)."""
         heappush(self._heap, (time, next(self._seq), None, fn, args))
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled("engine"):
+            tracer.emit(self.now, "engine.schedule", "sim", at=time,
+                        fn=getattr(fn, "__qualname__",
+                                   type(fn).__name__), fast=True)
 
     # ------------------------------------------------------------------
     # execution
@@ -223,6 +247,11 @@ class Simulator:
                 event._fired = True
             self.now = time
             self.executed_events += 1
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled("engine"):
+                tracer.emit(time, "engine.event", "sim",
+                            fn=getattr(fn, "__qualname__",
+                                       type(fn).__name__))
             fn(*args)
             return True
         return False
@@ -256,6 +285,11 @@ class Simulator:
         bound = inf if until is None else until
         heap = self._heap
         pop = heappop
+        # hoisted and pre-gated: with tracing off (or the "engine"
+        # category disabled) the per-event cost is one local None check
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled("engine"):
+            tracer = None
         # executed_events is incremented on the attribute, event by
         # event, so callbacks (probes, policy hooks, user timers) that
         # read it mid-run always see the exact count — an accumulate-in-
@@ -288,6 +322,10 @@ class Simulator:
                         break
                     self.now = time
                     self.executed_events += 1
+                    if tracer is not None:
+                        tracer.emit(time, "engine.event", "sim",
+                                    fn=getattr(fn, "__qualname__",
+                                               type(fn).__name__))
                     fn(*args)
             else:
                 remaining = max_events
@@ -306,6 +344,10 @@ class Simulator:
                         break
                     self.now = time
                     self.executed_events += 1
+                    if tracer is not None:
+                        tracer.emit(time, "engine.event", "sim",
+                                    fn=getattr(fn, "__qualname__",
+                                               type(fn).__name__))
                     fn(*args)
                     remaining -= 1
                     if remaining <= 0:

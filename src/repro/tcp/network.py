@@ -53,8 +53,13 @@ class TcpNetwork:
                  trunk_delay: float = 1e-3,
                  access_delay: float = 1e-3,
                  meter_interval: float = 0.1,
-                 sim: Simulator | None = None):
+                 sim: Simulator | None = None,
+                 tracer=None):
         self.sim = sim or Simulator()
+        # install before any component is built: ports and sources
+        # capture their gated tracer at construction
+        if tracer is not None:
+            self.sim.tracer = tracer
         self.policy_factory = policy_factory or QueuePolicy
         self.trunk_rate = trunk_rate
         self.access_rate = access_rate
@@ -102,6 +107,10 @@ class TcpNetwork:
     def trunk(self, a: "Router | str", b: "Router | str") -> PacketPort:
         a, b = self._router(a), self._router(b)
         return self._trunks[(a.name, b.name)]
+
+    @property
+    def trunks(self) -> dict[tuple[str, str], PacketPort]:
+        return dict(self._trunks)
 
     # ------------------------------------------------------------------
     # flows

@@ -133,6 +133,12 @@ class TcpRenoSource(PacketSink):
         self.cwnd_probe = Probe(f"{flow}.cwnd")
         self.rate_probe = Probe(f"{flow}.cr")
         self._cwnd_record = self.cwnd_probe.record
+        # trace hook, pre-gated on the "tcp" category (OBS001); only the
+        # rare transitions emit (timeout, fast retransmit, recovery
+        # exit, quench), never the per-ACK path
+        tracer = sim.tracer
+        self._tracer = (tracer.gate("tcp") if tracer is not None
+                        else None)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -255,6 +261,11 @@ class TcpRenoSource(PacketSink):
         self.snd_nxt = self.snd_una  # go-back-N
         self._timing_valid = False
         self._timed_seq = None
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, "tcp.timeout", self.flow,
+                        cwnd=self.cwnd, ssthresh=self.ssthresh,
+                        rto=self.rto)
         self._transmit(self.snd_nxt, is_retransmit=True)
         self.snd_nxt += mss
         # _transmit armed a fresh timer (ours was consumed); restart it so
@@ -289,6 +300,10 @@ class TcpRenoSource(PacketSink):
             # Reno: the first new ACK ends recovery and deflates cwnd
             self.in_recovery = False
             self.cwnd = self.ssthresh
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.sim.now, "tcp.recovery_exit", self.flow,
+                            cwnd=self.cwnd, ack=ack)
         elif not (self.params.respect_efci and segment.efci_echo):
             self._grow_window(segment)
         self._cwnd_record(self.sim.now, self.cwnd)
@@ -323,6 +338,11 @@ class TcpRenoSource(PacketSink):
             self.cwnd = self.ssthresh + self.params.dupack_threshold * mss
             self.in_recovery = True
             self.recover = self.snd_nxt
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.sim.now, "tcp.fast_retransmit",
+                            self.flow, cwnd=self.cwnd,
+                            ssthresh=self.ssthresh, seq=self.snd_una)
         self.cwnd_probe.record(self.sim.now, self.cwnd)
         self._try_send()
 
@@ -337,6 +357,10 @@ class TcpRenoSource(PacketSink):
         self.ssthresh = max(self.flight_size / 2, 2 * mss)
         self.cwnd = max(self.ssthresh, mss)
         self.cwnd_probe.record(self.sim.now, self.cwnd)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, "tcp.quench", self.flow,
+                        cwnd=self.cwnd, ssthresh=self.ssthresh)
 
     # ------------------------------------------------------------------
     # estimators

@@ -135,6 +135,11 @@ class PacketPort(PacketSink):
         self.drops_by_flow: dict[str, int] = {}
         #: Time the port last went idle (RED's idle-decay needs it).
         self.idle_since: float | None = 0.0
+        # trace hook, pre-gated on the "router" category so the
+        # per-packet path pays one is-None check (OBS001)
+        tracer = sim.tracer
+        self._tracer = (tracer.gate("router") if tracer is not None
+                        else None)
 
     @property
     def queue_len(self) -> int:
@@ -150,6 +155,11 @@ class PacketPort(PacketSink):
             self.drops += 1
             self.drops_by_flow[segment.flow] = (
                 self.drops_by_flow.get(segment.flow, 0) + 1)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.sim.now, "router.drop", self.name,
+                            flow=segment.flow, policy=self.policy.name,
+                            qlen=len(self._queue), drops=self.drops)
             return
         queue = self._queue
         queue.append(segment)

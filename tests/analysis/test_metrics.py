@@ -136,3 +136,54 @@ def test_queue_stats_empty_window_uses_held_value():
     q = probe_of([(0.0, 7.0)])
     stats = queue_stats(q, 5.0, 6.0)
     assert stats == {"max": 7.0, "mean": 7.0, "final": 7.0}
+
+
+# ----------------------------------------------------------------------
+# degenerate series
+# ----------------------------------------------------------------------
+
+def test_queue_stats_on_empty_probe_raises():
+    # no sample exists anywhere, so not even the held-value fallback
+    # can produce a number
+    with pytest.raises(ValueError):
+        queue_stats(Probe("empty"), 0.0, 1.0)
+
+
+def test_queue_stats_window_before_first_sample_raises():
+    q = probe_of([(5.0, 7.0)])
+    with pytest.raises(ValueError):
+        queue_stats(q, 0.0, 1.0)
+
+
+def test_queue_stats_single_sample():
+    q = probe_of([(0.5, 3.0)])
+    stats = queue_stats(q, 0.0, 1.0)
+    assert stats == {"max": 3.0, "mean": 3.0, "final": 3.0}
+
+
+def test_queue_stats_zero_duration_window():
+    q = probe_of([(0.0, 1.0), (1.0, 5.0), (2.0, 2.0)])
+    # start == end on a sample instant: the sample's value, all three ways
+    stats = queue_stats(q, 1.0, 1.0)
+    assert stats == {"max": 5.0, "mean": 5.0, "final": 5.0}
+    # start == end between samples: held value
+    stats = queue_stats(q, 1.5, 1.5)
+    assert stats == {"max": 5.0, "mean": 5.0, "final": 5.0}
+
+
+def test_convergence_single_sample_needs_hold():
+    p = probe_of([(1.0, 100.0)])
+    # in-band from its only sample, but zero residence time < hold
+    assert convergence_time(p, target=100.0, hold=0.01) == math.inf
+    assert convergence_time(p, target=100.0, hold=0.0) == 1.0
+
+
+def test_utilization_empty_window_raises():
+    # utilization has no held-value fallback: a window with no samples
+    # (before or after the data) has nothing to average
+    with pytest.raises(ValueError):
+        utilization([probe_of([(5.0, 1.0)])], capacity=1.0,
+                    start=0.0, end=1.0)
+    with pytest.raises(ValueError):
+        utilization([probe_of([(0.0, 1.0)])], capacity=1.0,
+                    start=2.0, end=3.0)

@@ -65,6 +65,26 @@ def test_capture_is_deterministic():
     assert golden.compare_traces(first, second) == []
 
 
+@pytest.mark.parametrize("name", ["e01_staggered", "e11_tcp"])
+def test_traced_run_matches_untraced_digests(name):
+    """Observation changes no simulated outcome.
+
+    A run with the full trace bus enabled (every category, every emit
+    point firing) must produce bit-identical probe digests, counters,
+    and clock to the committed untraced fixture — the contract that
+    lets tracing be turned on for debugging without invalidating any
+    result captured without it.  One ATM and one TCP workload cover
+    both protocol stacks' emit points.
+    """
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    traced = golden.capture(name, golden.GOLDEN_SCALES[name],
+                            tracer=tracer)
+    assert len(tracer.events) > 0, "tracer installed but nothing emitted"
+    assert golden.compare_traces(_fixture(name), traced) == []
+
+
 def _install_reversed_tie_break(monkeypatch):
     """Make later-scheduled events win timestamp ties, kernel-wide.
 

@@ -1,0 +1,58 @@
+"""OBS001 fixture: trace emits with and without the ``is None`` gate."""
+
+
+class Port:
+    def __init__(self, sim, tracer):
+        self.sim = sim
+        self._tracer = tracer
+
+    def bare_attribute(self, cell):
+        self._tracer.emit(self.sim.now, "port.drop", "p", vc=cell.vc)  # violation
+
+    def bare_local(self, cell):
+        tracer = self._tracer
+        tracer.emit(self.sim.now, "port.drop", "p", vc=cell.vc)  # violation
+
+    def gated_on_other_name(self, cell):
+        other = self._tracer
+        if other is not None:
+            self._tracer.emit(self.sim.now, "port.drop", "p")  # violation
+
+    def wrong_branch(self, cell):
+        tracer = self._tracer
+        if tracer is None:
+            tracer.emit(self.sim.now, "port.drop", "p")  # violation
+
+    def suppressed(self, cell):
+        self._tracer.emit(self.sim.now, "port.drop", "p")  # lint: disable=OBS001
+
+    def gated_local(self, cell):
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.sim.now, "port.enqueue", "p", vc=cell.vc)
+
+    def gated_attribute(self, cell):
+        if self._tracer is not None:
+            self._tracer.emit(self.sim.now, "port.enqueue", "p")
+
+    def gated_compound(self, cell):
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled("port"):
+            tracer.emit(self.sim.now, "port.enqueue", "p")
+
+    def gated_else_branch(self, cell):
+        tracer = self._tracer
+        if tracer is None:
+            pass
+        else:
+            tracer.emit(self.sim.now, "port.enqueue", "p")
+
+    def gated_outer_scope(self, cells):
+        tracer = self._tracer
+        if tracer is not None:
+            for cell in cells:
+                tracer.emit(self.sim.now, "port.enqueue", "p", vc=cell.vc)
+
+    def other_emit_is_fine(self, bus):
+        # only tracer-named receivers are trace-bus emits
+        bus.emit("something")

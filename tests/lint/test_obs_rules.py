@@ -1,0 +1,45 @@
+"""OBS001: ungated trace-emit rule."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_obs001_flagged_and_suppressible():
+    assert_rule_matches_fixture("OBS001", "obs001_ungated_emit.py",
+                                package="atm")
+
+
+def test_obs001_scoped_to_hot_subpackages():
+    source = ("class C:\n"
+              "    def f(self):\n"
+              "        self._tracer.emit(0.0, 'k', 'c')\n")
+    # the obs package itself (and analysis code) may call emit freely
+    for path in ("src/repro/obs/mod.py", "src/repro/analysis/mod.py"):
+        assert [f for f in lint_snippet(source, path)
+                if f.rule_id == "OBS001"] == []
+    for pkg in ("atm", "tcp", "sim", "core"):
+        findings = [f for f in
+                    lint_snippet(source, f"src/repro/{pkg}/mod.py")
+                    if f.rule_id == "OBS001"]
+        assert [f.line for f in findings] == [3]
+
+
+def test_obs001_accepts_conditional_expression_gate():
+    source = ("class C:\n"
+              "    def f(self, tracer):\n"
+              "        x = (tracer.emit(0.0, 'k', 'c')\n"
+              "             if tracer is not None else None)\n")
+    assert [f for f in lint_snippet(source, "src/repro/sim/mod.py")
+            if f.rule_id == "OBS001"] == []
+
+
+def test_obs001_guard_must_dominate_within_function():
+    # a gate in one function does not cover an emit in another
+    source = ("class C:\n"
+              "    def f(self, tracer):\n"
+              "        if tracer is not None:\n"
+              "            def g():\n"
+              "                tracer.emit(0.0, 'k', 'c')\n"
+              "            g()\n")
+    findings = [f for f in lint_snippet(source, "src/repro/sim/mod.py")
+                if f.rule_id == "OBS001"]
+    assert [f.line for f in findings] == [5]

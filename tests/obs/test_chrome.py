@@ -1,0 +1,65 @@
+"""Unit tests for the Chrome trace_event converter."""
+
+import json
+
+from repro.obs import chrome_events, chrome_trace, write_chrome_trace
+from repro.obs.chrome import COUNTER_FIELDS
+
+
+def ev(ts, kind, comp, **fields):
+    return {"ts": ts, "kind": kind, "comp": comp, "fields": fields}
+
+
+def test_instant_events_scaled_to_microseconds():
+    out = chrome_events([ev(0.0025, "switch.mark", "S1", vc="s0")])
+    meta, instant = out
+    assert meta == {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1,
+                    "args": {"name": "S1"}}
+    assert instant["ph"] == "i"
+    assert instant["ts"] == 2500.0
+    assert instant["name"] == "switch.mark"
+    assert instant["cat"] == "switch"
+    assert instant["args"] == {"vc": "s0"}
+
+
+def test_one_thread_per_component_named_once():
+    out = chrome_events([ev(0.0, "switch.mark", "A"),
+                         ev(1.0, "switch.mark", "B"),
+                         ev(2.0, "switch.mark", "A")])
+    metas = [e for e in out if e["ph"] == "M"]
+    assert [m["args"]["name"] for m in metas] == ["A", "B"]
+    tids = [e["tid"] for e in out if e["ph"] == "i"]
+    assert tids == [1, 2, 1]
+
+
+def test_counter_track_for_scalar_kinds():
+    out = chrome_events([ev(0.001, "port.enqueue", "p", vc="s0", qlen=7)])
+    counters = [e for e in out if e["ph"] == "C"]
+    assert counters == [{"name": "p qlen", "ph": "C", "ts": 1000.0,
+                         "pid": 1, "args": {"qlen": 7}}]
+
+
+def test_no_counter_without_the_field_or_mapping():
+    out = chrome_events([ev(0.0, "port.enqueue", "p", vc="s0"),
+                         ev(0.0, "engine.event", "sim", fn="f")])
+    assert [e for e in out if e["ph"] == "C"] == []
+
+
+def test_counter_fields_name_real_kinds():
+    # the mapping must track the emit points; a stale key silently
+    # produces no counter track, so pin the exact set
+    assert COUNTER_FIELDS == {"port.enqueue": "qlen", "port.drop": "qlen",
+                              "router.drop": "qlen", "macr.update": "macr",
+                              "tcp.timeout": "cwnd"}
+
+
+def test_chrome_trace_wrapper_and_writer(tmp_path):
+    events = [ev(0.0, "macr.update", "m", macr=10.0)]
+    trace = chrome_trace(events)
+    assert trace["displayTimeUnit"] == "ms"
+    assert trace["traceEvents"] == chrome_events(events)
+
+    path = str(tmp_path / "trace.chrome.json")
+    write_chrome_trace(path, events)
+    with open(path) as fh:
+        assert json.load(fh) == trace

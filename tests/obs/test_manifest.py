@@ -1,0 +1,122 @@
+"""Unit tests for run manifests and manifest diffing."""
+
+import pytest
+
+from repro.obs import (MANIFEST_SCHEMA, MANIFEST_VERSION, build_manifest,
+                       diff_manifests, read_manifest, validate_manifest,
+                       write_manifest)
+from repro.obs.manifest import git_revision
+
+
+def manifest(**overrides):
+    base = dict(command="atm",
+                params={"scenario": "staggered", "duration": 0.15},
+                seed=7,
+                metrics={"repro_sim_time_seconds": 0.15},
+                wall_s=1.23456789,
+                trace_path="t.jsonl")
+    base.update(overrides)
+    return build_manifest(base.pop("command"), base.pop("params"), **base)
+
+
+def test_build_manifest_fields():
+    m = manifest()
+    assert m["schema"] == MANIFEST_SCHEMA
+    assert m["version"] == MANIFEST_VERSION
+    assert m["command"] == "atm"
+    assert m["params"]["scenario"] == "staggered"
+    assert m["seed"] == 7
+    assert m["wall_s"] == 1.2346  # rounded: a measurement, not a result
+    assert m["trace"] == "t.jsonl"
+    assert isinstance(m["python"], str)
+    assert isinstance(m["platform"], str)
+
+
+def test_optional_fields_are_omitted_not_nulled():
+    m = build_manifest("tcp", {"scenario": "many"})
+    assert "wall_s" not in m
+    assert "trace" not in m
+    assert "metrics" not in m
+    assert m["seed"] is None  # seed None is meaningful: unseeded run
+
+
+def test_params_are_copied_not_aliased():
+    params = {"scenario": "staggered"}
+    m = build_manifest("atm", params)
+    params["scenario"] = "mutated"
+    assert m["params"]["scenario"] == "staggered"
+
+
+def test_git_revision_in_a_work_tree():
+    rev = git_revision()
+    # the test suite runs from a checkout; outside one, None is fine
+    if rev is not None:
+        assert len(rev) == 40
+        assert all(c in "0123456789abcdef" for c in rev)
+
+
+def test_write_read_roundtrip(tmp_path):
+    path = str(tmp_path / "run.manifest.json")
+    m = manifest()
+    write_manifest(path, m)
+    assert read_manifest(path) == m
+
+
+def test_read_rejects_non_object(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2]\n")
+    with pytest.raises(ValueError, match="not a JSON object"):
+        read_manifest(str(path))
+
+
+def test_validate_good_manifest():
+    assert validate_manifest(manifest()) == []
+
+
+def test_validate_flags_each_problem():
+    problems = validate_manifest(
+        {"schema": "other", "version": 0, "command": 3,
+         "params": "nope", "metrics": [1]})
+    assert len(problems) == 5
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+
+def test_identical_manifests_diff_clean():
+    assert diff_manifests(manifest(), manifest()) == []
+
+
+def test_volatile_fields_skipped_by_default():
+    a = manifest(wall_s=1.0, trace_path="a.jsonl")
+    b = manifest(wall_s=9.0, trace_path="b.jsonl")
+    b["git_rev"] = "f" * 40
+    b["python"] = "0.0.0"
+    assert diff_manifests(a, b) == []
+    diffs = diff_manifests(a, b, include_volatile=True)
+    assert any(d.startswith("wall_s:") for d in diffs)
+    assert any(d.startswith("trace:") for d in diffs)
+    assert any(d.startswith("git_rev:") for d in diffs)
+
+
+def test_config_and_metric_differences_are_reported():
+    a = manifest()
+    b = manifest(seed=11)
+    b["params"]["duration"] = 0.3
+    b["metrics"]["repro_sim_time_seconds"] = 0.3
+    diffs = diff_manifests(a, b)
+    assert "seed: 7 != 11" in diffs
+    assert "params.duration: 0.15 != 0.3" in diffs
+    assert any(d.startswith("metrics.repro_sim_time_seconds:")
+               for d in diffs)
+
+
+def test_one_sided_fields_are_reported():
+    a = manifest()
+    b = manifest()
+    del b["metrics"]["repro_sim_time_seconds"]
+    b["metrics"]["repro_extra"] = 1.0
+    diffs = diff_manifests(a, b)
+    assert "metrics.repro_sim_time_seconds: only in first (0.15)" in diffs
+    assert "metrics.repro_extra: only in second (1.0)" in diffs

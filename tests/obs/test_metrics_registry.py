@@ -1,0 +1,174 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import pytest
+
+from repro.core import PhantomAlgorithm
+from repro.obs import MetricsRegistry, registry_from_run
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.scenarios import drop_tail_policy, many_flows, staggered_start
+from repro.sim import Probe
+
+
+# ----------------------------------------------------------------------
+# metric primitives
+# ----------------------------------------------------------------------
+
+def test_counter_accumulates_and_rejects_negative():
+    r = MetricsRegistry()
+    c = r.counter("repro_x_total", port="p")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_gauge_last_write_wins():
+    r = MetricsRegistry()
+    g = r.gauge("repro_x")
+    g.set(5.0)
+    g.set(-2.0)
+    assert g.value == -2.0
+
+
+def test_histogram_bucket_edges_are_inclusive():
+    h = Histogram(buckets=(1.0, 10.0))
+    for v in (0.5, 1.0, 5.0, 10.0, 99.0):
+        h.observe(v)
+    # le="1" holds 0.5 and the boundary value 1.0; le="10" adds 5 and 10;
+    # 99 overflows
+    assert h.counts == [2, 2, 1]
+    assert h.cumulative() == [2, 4, 5]
+    assert h.count == 5
+    assert h.sum == pytest.approx(115.5)
+
+
+def test_histogram_needs_buckets():
+    with pytest.raises(ValueError):
+        Histogram(buckets=())
+
+
+def test_same_name_and_labels_share_one_metric():
+    r = MetricsRegistry()
+    assert r.counter("repro_x_total", vc="a") is (
+        r.counter("repro_x_total", vc="a"))
+    assert r.counter("repro_x_total", vc="a") is not (
+        r.counter("repro_x_total", vc="b"))
+
+
+def test_kind_mismatch_raises():
+    r = MetricsRegistry()
+    r.counter("repro_x")
+    with pytest.raises(TypeError, match="is a counter, not a gauge"):
+        r.gauge("repro_x")
+
+
+def test_register_probe_folds_series_in():
+    r = MetricsRegistry()
+    p = Probe("rate")
+    for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+        p.record(t, v)
+    r.register_probe("repro_rate_mbps", p, vc="s0")
+    summary = r.summary()
+    assert summary['repro_rate_mbps_samples_total{vc="s0"}'] == 3
+    assert summary['repro_rate_mbps_last{vc="s0"}'] == 2.0
+    assert summary['repro_rate_mbps_count{vc="s0"}'] == 3
+    assert summary['repro_rate_mbps_sum{vc="s0"}'] == 6.0
+
+
+def test_register_empty_probe_records_zero_samples():
+    r = MetricsRegistry()
+    r.register_probe("repro_rate_mbps", Probe("rate"), vc="s0")
+    assert r.summary() == {'repro_rate_mbps_samples_total{vc="s0"}': 0.0}
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+
+def small_registry():
+    r = MetricsRegistry()
+    r.counter("repro_drops_total", port="p").inc(4)
+    r.gauge("repro_acr_mbps", vc="s0").set(37.5)
+    h = r.histogram("repro_queue_cells", buckets=(1.0, 10.0), port="p")
+    for v in (0.0, 5.0, 50.0):
+        h.observe(v)
+    return r
+
+
+def test_prometheus_text_format():
+    text = small_registry().prometheus_text()
+    lines = text.splitlines()
+    assert "# TYPE repro_drops_total counter" in lines
+    assert 'repro_drops_total{port="p"} 4' in lines
+    assert 'repro_acr_mbps{vc="s0"} 37.5' in lines
+    assert 'repro_queue_cells_bucket{port="p",le="1"} 1' in lines
+    assert 'repro_queue_cells_bucket{port="p",le="10"} 2' in lines
+    assert 'repro_queue_cells_bucket{port="p",le="+Inf"} 3' in lines
+    assert 'repro_queue_cells_sum{port="p"} 55' in lines
+    assert 'repro_queue_cells_count{port="p"} 3' in lines
+    assert text.endswith("\n")
+    assert MetricsRegistry().prometheus_text() == ""
+
+
+def test_to_json_dump():
+    dump = small_registry().to_json()
+    families = {f["name"]: f for f in dump["metrics"]}
+    assert families["repro_drops_total"]["type"] == "counter"
+    hist = families["repro_queue_cells"]["series"][0]
+    assert hist["labels"] == {"port": "p"}
+    assert hist["buckets"] == [1.0, 10.0]
+    assert hist["counts"] == [1, 1, 1]
+    assert hist["count"] == 3
+
+
+def test_default_buckets_are_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+# ----------------------------------------------------------------------
+# registration from run handles
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def atm_registry():
+    run = staggered_start(PhantomAlgorithm, n_sessions=2, duration=0.05)
+    return registry_from_run(run)
+
+
+@pytest.fixture(scope="module")
+def tcp_registry():
+    run = many_flows(drop_tail_policy(), n_flows=2, duration=2.0)
+    return registry_from_run(run)
+
+
+def test_atm_run_registers_sessions_and_trunks(atm_registry):
+    summary = atm_registry.summary()
+    assert summary["repro_sim_time_seconds"] == pytest.approx(0.05)
+    assert summary["repro_sim_executed_events_total"] > 0
+    assert summary['repro_cells_sent_total{vc="s0"}'] > 0
+    assert summary['repro_acr_mbps{vc="s1"}'] > 0
+    assert any(key.startswith("repro_port_arrivals_total")
+               for key in summary)
+    assert any(key.startswith("repro_macr_mbps_samples_total")
+               for key in summary)
+
+
+def test_tcp_run_registers_flows_and_trunks(tcp_registry):
+    summary = tcp_registry.summary()
+    assert summary['repro_bytes_received_total{flow="f0"}'] > 0
+    assert summary['repro_segments_sent_total{flow="f1"}'] > 0
+    assert any(key.startswith("repro_port_queue_packets_samples_total")
+               for key in summary)
+
+
+def test_registry_exports_are_consistent(atm_registry):
+    # every scalar in the manifest summary appears in the text exposition
+    text = atm_registry.prometheus_text()
+    for name in ("repro_sim_time_seconds", "repro_cells_sent_total"):
+        assert name in text
+
+
+def test_registry_from_run_rejects_other_types():
+    with pytest.raises(TypeError, match="unsupported run handle"):
+        registry_from_run(object())

@@ -1,0 +1,170 @@
+"""Unit tests for the trace bus and the JSONL trace format."""
+
+import json
+
+import pytest
+
+from repro.obs import (CATEGORIES, TRACE_SCHEMA, TRACE_VERSION, Tracer,
+                       read_trace_jsonl, summarize_events, trace_header,
+                       validate_trace_jsonl, write_trace_jsonl)
+from repro.obs.trace import event_dicts
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+
+def test_default_tracer_records_everything():
+    t = Tracer()
+    assert t.categories is None
+    for cat in CATEGORIES:
+        assert t.enabled(cat)
+        assert t.gate(cat) is t
+
+
+def test_category_subset_gates_the_rest():
+    t = Tracer(categories=["port", "tcp"])
+    assert t.gate("port") is t
+    assert t.gate("tcp") is t
+    assert t.gate("engine") is None
+    assert not t.enabled("macr")
+
+
+def test_unknown_category_rejected_loudly():
+    with pytest.raises(ValueError, match="unknown trace categories"):
+        Tracer(categories=["prot"])  # typo of "port"
+
+
+def test_emit_records_in_order():
+    t = Tracer()
+    t.emit(0.0, "port.enqueue", "S1->S2", vc="s0", qlen=1)
+    t.emit(0.5, "port.drop", "S1->S2", vc="s1", qlen=9, drops=1)
+    assert len(t) == 2
+    assert t.events[0] == (0.0, "port.enqueue", "S1->S2",
+                           {"vc": "s0", "qlen": 1})
+    assert t.kinds() == {"port.enqueue": 1, "port.drop": 1}
+    t.clear()
+    assert len(t) == 0
+
+
+def test_meta_is_copied_not_aliased():
+    meta = {"scenario": "staggered"}
+    t = Tracer(meta=meta)
+    meta["scenario"] = "mutated"
+    assert t.meta == {"scenario": "staggered"}
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+
+def tracer_with_events():
+    t = Tracer(categories=["port", "macr"], meta={"run": "unit"})
+    t.emit(0.001, "port.enqueue", "S1->S2", vc="s0", qlen=1)
+    t.emit(0.002, "macr.update", "macr[S1->S2]", macr=10.0,
+           residual=150.0, dev=0.5)
+    t.emit(0.002, "port.enqueue", "S1->S2", vc="s1", qlen=2)
+    return t
+
+
+def test_header_carries_schema_and_sorted_categories():
+    header = trace_header(tracer_with_events(), meta={"extra": 1})
+    assert header["schema"] == TRACE_SCHEMA
+    assert header["version"] == TRACE_VERSION
+    assert header["events"] == 3
+    assert header["categories"] == ["macr", "port"]
+    assert header["meta"] == {"run": "unit", "extra": 1}
+
+
+def test_write_read_roundtrip(tmp_path):
+    t = tracer_with_events()
+    path = str(tmp_path / "trace.jsonl")
+    write_trace_jsonl(path, t)
+    header, events = read_trace_jsonl(path)
+    assert header["events"] == 3
+    assert events == list(event_dicts(t))
+    assert validate_trace_jsonl(path) == []
+
+
+def test_read_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty trace"):
+        read_trace_jsonl(str(path))
+
+
+# ----------------------------------------------------------------------
+# validation catches corruption
+# ----------------------------------------------------------------------
+
+def write_lines(tmp_path, *objs):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(o) + "\n" for o in objs))
+    return str(path)
+
+
+def good_header(n):
+    return {"schema": TRACE_SCHEMA, "version": TRACE_VERSION, "events": n,
+            "categories": None}
+
+
+def good_event(ts):
+    return {"ts": ts, "kind": "port.enqueue", "comp": "p", "fields": {}}
+
+
+def test_validate_flags_wrong_schema_and_version(tmp_path):
+    path = write_lines(tmp_path,
+                       {"schema": "other", "version": 99, "events": 0})
+    problems = validate_trace_jsonl(path)
+    assert any("schema" in p for p in problems)
+    assert any("version" in p for p in problems)
+
+
+def test_validate_flags_event_count_mismatch(tmp_path):
+    path = write_lines(tmp_path, good_header(5), good_event(0.0))
+    assert any("declares 5 events" in p
+               for p in validate_trace_jsonl(path))
+
+
+def test_validate_flags_decreasing_timestamps(tmp_path):
+    path = write_lines(tmp_path, good_header(2),
+                       good_event(1.0), good_event(0.5))
+    assert any("decreases" in p for p in validate_trace_jsonl(path))
+
+
+def test_validate_flags_missing_and_mistyped_keys(tmp_path):
+    bad = {"ts": True, "kind": "x.y", "comp": "p", "fields": {}}
+    path = write_lines(tmp_path, good_header(2),
+                       {"kind": "x.y", "comp": "p", "fields": {}}, bad)
+    problems = validate_trace_jsonl(path)
+    # bool masquerading as a timestamp is rejected too
+    assert sum("bad or missing 'ts'" in p for p in problems) == 2
+
+
+def test_validate_flags_non_object_event(tmp_path):
+    path = write_lines(tmp_path, good_header(1), [1, 2, 3])
+    assert any("not a JSON object" in p
+               for p in validate_trace_jsonl(path))
+
+
+def test_validate_unreadable_file(tmp_path):
+    assert validate_trace_jsonl(str(tmp_path / "missing.jsonl")) != []
+
+
+# ----------------------------------------------------------------------
+# summaries
+# ----------------------------------------------------------------------
+
+def test_summarize_events():
+    summary = summarize_events(event_dicts(tracer_with_events()))
+    assert summary["events"] == 3
+    assert summary["first_ts"] == 0.001
+    assert summary["last_ts"] == 0.002
+    assert summary["kinds"] == {"macr.update": 1, "port.enqueue": 2}
+    assert summary["components"] == {"S1->S2": 2, "macr[S1->S2]": 1}
+
+
+def test_summarize_empty():
+    summary = summarize_events([])
+    assert summary["events"] == 0
+    assert summary["first_ts"] is None and summary["last_ts"] is None

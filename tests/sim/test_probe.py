@@ -55,6 +55,40 @@ def test_window():
     assert list(w) == [(1.0, 2.0), (2.0, 3.0)]
 
 
+def test_window_bounds_inclusive_and_between_samples():
+    p = make_probe([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+    # bounds that fall between samples
+    assert list(p.window(0.5, 2.5)) == [(1.0, 2.0), (2.0, 3.0)]
+    # both endpoints inclusive
+    assert list(p.window(0.0, 3.0)) == list(p)
+    # empty windows: before, after, and between samples
+    assert list(p.window(-2.0, -1.0)) == []
+    assert list(p.window(4.0, 5.0)) == []
+    assert list(p.window(1.2, 1.8)) == []
+    # duplicate timestamps are all kept
+    q = make_probe([(1.0, 1.0), (1.0, 2.0), (1.0, 3.0)])
+    assert list(q.window(1.0, 1.0)) == [(1.0, 1.0), (1.0, 2.0), (1.0, 3.0)]
+
+
+def test_window_is_a_copy():
+    p = make_probe([(0.0, 1.0), (1.0, 2.0)])
+    w = p.window(0.0, 1.0)
+    w.record(2.0, 9.0)
+    assert len(p) == 2
+
+
+def test_step_probe_window_preserves_type_and_storage():
+    from array import array
+
+    p = StepProbe("q")
+    for t, v in [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]:
+        p.record(t, v)
+    w = p.window(1.0, 2.0)
+    assert isinstance(w, StepProbe)
+    assert isinstance(w.times, array) and isinstance(w.values, array)
+    assert list(w) == [(1.0, 2.0), (2.0, 3.0)]
+
+
 def test_minmaxmean():
     p = make_probe([(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
     assert p.max() == 3.0

@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _run_in_tmpdir(tmp_path, monkeypatch):
+    """atm/tcp/perf write run manifests into the cwd by default; keep
+    test artifacts out of the repo checkout."""
+    monkeypatch.chdir(tmp_path)
 
 
 def test_list(capsys):
@@ -42,6 +51,72 @@ def test_tcp_selective_discard(capsys):
     out = capsys.readouterr().out
     assert "goodput" in out
     assert "bottleneck q" in out
+
+
+def test_atm_writes_manifest_by_default(capsys, tmp_path):
+    assert main(["atm", "--scenario", "staggered",
+                 "--duration", "0.15"]) == 0
+    assert "wrote repro_atm.manifest.json" in capsys.readouterr().out
+    manifest = json.loads(
+        (tmp_path / "repro_atm.manifest.json").read_text())
+    assert manifest["schema"] == "repro.obs.manifest"
+    assert manifest["command"] == "atm"
+    assert manifest["params"]["scenario"] == "staggered"
+    assert manifest["metrics"]
+
+
+def test_atm_manifest_opt_out(capsys, tmp_path):
+    assert main(["atm", "--scenario", "staggered",
+                 "--duration", "0.15", "--manifest", ""]) == 0
+    capsys.readouterr()
+    assert not (tmp_path / "repro_atm.manifest.json").exists()
+
+
+def test_atm_trace_flag_records_jsonl(capsys, tmp_path):
+    assert main(["atm", "--scenario", "staggered", "--duration", "0.15",
+                 "--trace", "t.jsonl"]) == 0
+    assert "wrote t.jsonl" in capsys.readouterr().out
+    from repro.obs import validate_trace_jsonl
+
+    assert validate_trace_jsonl(str(tmp_path / "t.jsonl")) == []
+    manifest = json.loads(
+        (tmp_path / "repro_atm.manifest.json").read_text())
+    assert manifest["trace"] == "t.jsonl"
+
+
+def test_tcp_writes_manifest_by_default(capsys, tmp_path):
+    assert main(["tcp", "--scenario", "many", "--policy", "drop-tail",
+                 "--duration", "3"]) == 0
+    capsys.readouterr()
+    manifest = json.loads(
+        (tmp_path / "repro_tcp.manifest.json").read_text())
+    assert manifest["command"] == "tcp"
+    assert manifest["params"]["policy"] == "drop-tail"
+
+
+def test_perf_writes_companion_manifest(capsys, tmp_path):
+    assert main(["perf", "--workload", "e11_tcp", "--scale", "0.15",
+                 "--output", "bench.json"]) == 0
+    capsys.readouterr()
+    manifest = json.loads((tmp_path / "bench.manifest.json").read_text())
+    assert manifest["command"] == "perf"
+    assert manifest["params"]["workload"] == ["e11_tcp"]
+    assert any(key.startswith("e11_tcp.") for key in manifest["metrics"])
+
+
+def test_obs_record_and_diff_roundtrip(capsys, tmp_path):
+    assert main(["obs", "record", "--workload", "e11_tcp",
+                 "--trace", "a.jsonl", "--manifest", "a.json"]) == 0
+    assert main(["obs", "record", "--workload", "e11_tcp",
+                 "--trace", "b.jsonl", "--manifest", "b.json"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "validate", "a.jsonl", "--manifest", "a.json"]) == 0
+    # identical params and a closed workload: nothing to report
+    assert main(["obs", "diff", "a.json", "b.json"]) == 0
+    assert main(["obs", "summarize", "a.jsonl"]) == 0
+    assert main(["obs", "convert", "a.jsonl"]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "a.jsonl.chrome.json").exists()
 
 
 def test_maxmin_classic(capsys):
