@@ -11,10 +11,9 @@ cannot be cranked up for free.
 
 import pytest
 
-from repro import PhantomAlgorithm, PhantomParams
 from repro.analysis import format_table
 from repro.core import phantom_equilibrium_utilization
-from repro.scenarios import staggered_start
+from repro.exec import run_tasks, sweep_specs
 
 FACTORS = (2.0, 5.0, 10.0, 20.0)
 N_SESSIONS = 2
@@ -23,12 +22,16 @@ RM_OVERHEAD = 31 / 32
 
 
 def sweep():
+    # the four factor variants are independent tasks: the executor fans
+    # them across cores and returns them in grid order
+    specs = sweep_specs(
+        "atm.staggered",
+        {"algorithm_params.utilization_factor": list(FACTORS)},
+        base={"n_sessions": N_SESSIONS, "duration": DURATION})
     results = {}
-    for f in FACTORS:
-        params = PhantomParams(utilization_factor=f)
-        run = staggered_start(lambda p=params: PhantomAlgorithm(p),
-                              n_sessions=N_SESSIONS, duration=DURATION)
-        results[f] = (run.utilization(), run.queue_stats()["max"])
+    for f, res in zip(FACTORS, run_tasks(specs)):
+        assert res.ok, f"f={f}: {res.error}"
+        results[f] = (res.metric("utilization"), res.metric("queue.max"))
     return results
 
 

@@ -8,35 +8,39 @@ measurement interval and both filter gains.
 
 import math
 
-from repro import PhantomAlgorithm, PhantomParams
 from repro.analysis import convergence_time, format_table
 from repro.core import phantom_equilibrium_rate
-from repro.scenarios import staggered_start
+from repro.exec import TaskSpec, run_tasks
 
 DURATION = 0.3
 STAGGER = 0.03
 
+#: Param overrides per variant (JSON-able — they travel in the specs).
 VARIANTS = {
-    "default": PhantomParams(),
-    "interval/2": PhantomParams(interval=5e-4),
-    "interval*2": PhantomParams(interval=2e-3),
-    "alpha_inc*2": PhantomParams(alpha_inc=1 / 8),
-    "alpha_inc/2": PhantomParams(alpha_inc=1 / 32),
-    "alpha_dec/2": PhantomParams(alpha_dec=1 / 8),
+    "default": {},
+    "interval/2": {"interval": 5e-4},
+    "interval*2": {"interval": 2e-3},
+    "alpha_inc*2": {"alpha_inc": 1 / 8},
+    "alpha_inc/2": {"alpha_inc": 1 / 32},
+    "alpha_dec/2": {"alpha_dec": 1 / 8},
 }
 
 
 def sweep():
     target = phantom_equilibrium_rate(150.0, 2, 5.0)
+    specs = [TaskSpec(task_id=f"e20-{name}", scenario="atm.staggered",
+                      params={"algorithm_params": overrides,
+                              "n_sessions": 2, "stagger": STAGGER,
+                              "duration": DURATION},
+                      probes=("s0.acr",))
+             for name, overrides in VARIANTS.items()]
     results = {}
-    for name, params in VARIANTS.items():
-        run = staggered_start(lambda p=params: PhantomAlgorithm(p),
-                              n_sessions=2, stagger=STAGGER,
-                              duration=DURATION)
-        acr = run.net.sessions["s0"].acr_probe.window(STAGGER, DURATION)
+    for name, res in zip(VARIANTS, run_tasks(specs)):
+        assert res.ok, f"{name}: {res.error}"
+        acr = res.probe("s0.acr").window(STAGGER, DURATION)
         settle = convergence_time(acr, target=target, tolerance=0.1)
-        results[name] = (settle - STAGGER, run.queue_stats()["max"],
-                         run.jain())
+        results[name] = (settle - STAGGER, res.metric("queue.max"),
+                         res.metric("jain"))
     return results
 
 

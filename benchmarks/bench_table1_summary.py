@@ -8,51 +8,47 @@ configuration.  This is the one table to read first.
 
 import math
 
-from repro import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
-                   PhantomAlgorithm)
 from repro.analysis import convergence_time, format_table
-from repro.baselines import EricaAlgorithm
-from repro.core import BinaryPhantomAlgorithm
-from repro.scenarios import staggered_start
+from repro.exec import run_tasks, sweep_specs
 
 DURATION = 0.4
 STAGGER = 0.03
 
-ALGORITHMS = {
-    "phantom": PhantomAlgorithm,
-    "phantom-binary": BinaryPhantomAlgorithm,
-    "eprca": EprcaAlgorithm,
-    "aprc": AprcAlgorithm,
-    "capc": CapcAlgorithm,
-    "erica": EricaAlgorithm,
-}
+ALGORITHMS = ("phantom", "phantom-binary", "eprca", "aprc", "capc",
+              "erica")
 
 
-def settle_time(run) -> float:
+def settle_time(res) -> float:
     """Time after the join for s0 to stay within 15% of its final rate."""
-    acr = run.net.sessions["s0"].acr_probe
-    final = run.steady_rates()["s0"] * 32 / 31  # back to ACR scale
+    acr = res.probe("s0.acr")
+    final = res.metric("rates.s0") * 32 / 31  # back to ACR scale
     return convergence_time(acr.window(STAGGER, DURATION), target=final,
                             tolerance=0.15, hold=0.02) - STAGGER
 
 
-def measure(factory):
-    run = staggered_start(factory, n_sessions=2, stagger=STAGGER,
-                          duration=DURATION)
-    queue = run.queue_stats()
-    steady_queue = run.queue_stats(0.3, DURATION)
-    return {
-        "jain": run.jain(),
-        "util": run.utilization(),
-        "settle": settle_time(run),
-        "peak_q": queue["max"],
-        "steady_q": steady_queue["mean"],
-    }
+def measure_all():
+    # one task per algorithm; the queue's steady mean is read over the
+    # last quarter of the run, which at DURATION=0.4 is the [0.3, 0.4]
+    # window the original serial version measured
+    specs = sweep_specs("atm.staggered", {"algorithm": list(ALGORITHMS)},
+                        base={"n_sessions": 2, "stagger": STAGGER,
+                              "duration": DURATION},
+                        probes=("s0.acr",))
+    results = {}
+    for name, res in zip(ALGORITHMS, run_tasks(specs)):
+        assert res.ok, f"{name}: {res.error}"
+        results[name] = {
+            "jain": res.metric("jain"),
+            "util": res.metric("utilization"),
+            "settle": settle_time(res),
+            "peak_q": res.metric("queue.max"),
+            "steady_q": res.metric("queue.steady_mean"),
+        }
+    return results
 
 
 def test_table1_summary(run_once, benchmark):
-    results = run_once(lambda: {
-        name: measure(factory) for name, factory in ALGORITHMS.items()})
+    results = run_once(measure_all)
 
     rows = []
     for name, r in results.items():

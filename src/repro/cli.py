@@ -221,6 +221,13 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             print(f"\nno baseline at {args.baseline!r}; nothing to check "
                   "against")
             return 1
+        mismatches = perf.environment_mismatches(report, baseline)
+        if mismatches:
+            print(f"\nwarning: {args.baseline} was captured in a "
+                  "different environment; wall-clock comparisons are "
+                  "cross-machine:")
+            for mismatch in mismatches:
+                print(f"  {mismatch}")
         problems = perf.check_regression(report, baseline,
                                          factor=args.factor)
         if problems:
@@ -256,6 +263,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     return obs_cli.run(args)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    # imported here so `repro list/atm/...` never pays for the executor
+    from repro.exec import cli as exec_cli
+
+    return exec_cli.run_suite_command(args)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exec import cli as exec_cli
+
+    return exec_cli.run_sweep_command(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -340,6 +360,21 @@ def build_parser() -> argparse.ArgumentParser:
                     "manifests (see docs/OBSERVABILITY.md)")
     obs_cli.add_arguments(obs)
     obs.set_defaults(fn=_cmd_obs)
+
+    from repro.exec import cli as exec_cli
+
+    suite = sub.add_parser(
+        "suite", help="run the experiment suite (E01-E26) across worker "
+                      "processes with result caching (see "
+                      "docs/EXECUTION.md)")
+    exec_cli.add_suite_arguments(suite)
+    suite.set_defaults(fn=_cmd_suite)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative parameter grid for one "
+                      "scenario (see docs/EXECUTION.md)")
+    exec_cli.add_sweep_arguments(sweep)
+    sweep.set_defaults(fn=_cmd_sweep)
     return parser
 
 

@@ -1,0 +1,83 @@
+"""On-disk content-addressed result cache.
+
+Entries are keyed by the task fingerprint
+(:func:`repro.exec.fingerprint.task_fingerprint`): the hash of the spec
+plus the source of every module the task can reach.  A hit therefore
+*proves* the inputs are unchanged — the cached summary metrics and probe
+digests are the ones a re-simulation would produce — and an unchanged
+``repro suite`` pass completes at disk speed instead of simulation
+speed.
+
+Layout: ``<root>/<aa>/<fingerprint>.json`` (two-hex-char shard
+directories keep any one directory small).  Writes go through a
+same-directory temp file and ``os.replace`` so concurrent workers and
+interrupted runs can never leave a torn entry; corrupt or unreadable
+entries are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: Default cache directory, resolved against the current working
+#: directory (the repo root in normal use).
+DEFAULT_CACHE_DIR = ".repro-cache/exec"
+
+#: On-disk entry schema version; bump on layout changes.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Fingerprint-addressed store of task result payloads."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The cached payload for ``fingerprint``, or None on a miss."""
+        path = self._path(fingerprint)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(entry, dict)
+                or entry.get("cache_version") != CACHE_VERSION
+                or entry.get("fingerprint") != fingerprint
+                or not isinstance(entry.get("payload"), dict)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, fingerprint: str, payload: dict[str, Any], *,
+            spec: dict[str, Any] | None = None) -> None:
+        """Store ``payload`` under ``fingerprint`` (atomic replace)."""
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "cache_version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "spec": spec,
+            "payload": payload,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).is_file()
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

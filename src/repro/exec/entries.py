@@ -1,0 +1,314 @@
+"""Builtin scenario entry points.
+
+Each entry is a module-level function (lint rule EXE001) taking only
+JSON-able keyword arguments — algorithm and policy choices travel as
+*names* and are resolved here, inside the worker, against the same
+tables the CLI uses.  Entries return the run handles the scenario
+builders produce (:class:`~repro.scenarios.results.AtmRun` /
+``TcpRun``), which the worker reduces to metrics and probe digests.
+
+Fingerprint roots: every ATM entry declares ``repro.scenarios.atm`` (or
+the modules it builds from directly) and every TCP entry
+``repro.scenarios.tcp``; :func:`atm_param_deps` / :func:`tcp_param_deps`
+add the module defining the *chosen* algorithm/policy, so an edit to
+``repro/baselines/capc.py`` invalidates only the CAPC tasks.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Mapping, Sequence
+
+from repro.atm import AbrParams, AtmNetwork
+from repro.baselines import (AprcAlgorithm, CapcAlgorithm, EprcaAlgorithm,
+                             EricaAlgorithm)
+from repro.baselines.aprc import AprcParams
+from repro.baselines.capc import CapcParams
+from repro.baselines.eprca import EprcaParams
+from repro.baselines.erica import EricaParams
+from repro.core import (BinaryPhantomAlgorithm, PhantomAlgorithm,
+                        PhantomParams)
+from repro.exec.registry import register_scenario
+from repro.scenarios import atm as atm_scenarios
+from repro.scenarios import tcp as tcp_scenarios
+from repro.scenarios.results import AtmRun
+
+#: name -> (algorithm class, params class, defining module).  The module
+#: is the params-derived fingerprint root: choosing ``"capc"`` makes the
+#: task's cache entry sensitive to ``repro/baselines/capc.py`` edits.
+ATM_ALGORITHMS: dict[str, tuple[type, type, str]] = {
+    "phantom": (PhantomAlgorithm, PhantomParams, "repro.core.phantom"),
+    "phantom-binary": (BinaryPhantomAlgorithm, PhantomParams,
+                       "repro.core.phantom_binary"),
+    "eprca": (EprcaAlgorithm, EprcaParams, "repro.baselines.eprca"),
+    "aprc": (AprcAlgorithm, AprcParams, "repro.baselines.aprc"),
+    "capc": (CapcAlgorithm, CapcParams, "repro.baselines.capc"),
+    "erica": (EricaAlgorithm, EricaParams, "repro.baselines.erica"),
+}
+
+#: name -> (policy-factory function, defining module).
+TCP_POLICIES: dict[str, tuple[Any, str]] = {
+    "drop-tail": (tcp_scenarios.drop_tail_policy, "repro.tcp.router"),
+    "selective-discard": (tcp_scenarios.selective_discard_policy,
+                          "repro.tcp.phantom_router"),
+    "quench": (tcp_scenarios.selective_quench_policy,
+               "repro.tcp.phantom_router"),
+    "efci": (tcp_scenarios.selective_efci_policy,
+             "repro.tcp.phantom_router"),
+    "selective-red": (tcp_scenarios.selective_red_policy,
+                      "repro.tcp.phantom_router"),
+}
+
+
+def _lookup(table: Mapping[str, Any], name: str, what: str):
+    try:
+        return table[name]
+    except KeyError:
+        known = ", ".join(sorted(table))
+        raise ValueError(f"unknown {what} {name!r}; known: {known}") \
+            from None
+
+
+def _algorithm_factory(algorithm: str,
+                       algorithm_params: Mapping[str, Any] | None):
+    """Zero-arg factory for the named switch algorithm."""
+    cls, params_cls, _ = _lookup(ATM_ALGORITHMS, algorithm, "algorithm")
+    opts = dict(algorithm_params or {})
+    # binary Phantom's marking knobs are constructor arguments, not
+    # PhantomParams fields
+    extra = {key: opts.pop(key) for key in ("use_ni", "ni_fraction")
+             if key in opts} if algorithm == "phantom-binary" else {}
+    return partial(cls, params_cls(**opts), **extra)
+
+
+def _abr_params(session_params: Mapping[str, Any] | None) -> dict:
+    """``params=`` kwarg for scenario builders, or nothing for defaults."""
+    if session_params is None:
+        return {}
+    return {"params": AbrParams(**session_params)}
+
+
+def _policy_factory(policy: str,
+                    policy_params: Mapping[str, Any] | None):
+    """Picklable policy factory for the named router mechanism."""
+    factory_fn, _ = _lookup(TCP_POLICIES, policy, "policy")
+    opts = dict(policy_params or {})
+    if "params" in opts:
+        opts["params"] = PhantomParams(**opts["params"])
+    return factory_fn(**opts)
+
+
+def atm_param_deps(params: dict) -> tuple[str, ...]:
+    algorithm = params.get("algorithm", "phantom")
+    return (_lookup(ATM_ALGORITHMS, algorithm, "algorithm")[2],)
+
+
+def tcp_param_deps(params: dict) -> tuple[str, ...]:
+    policy = params.get("policy", "selective-discard")
+    return (_lookup(TCP_POLICIES, policy, "policy")[1],)
+
+
+# ----------------------------------------------------------------------
+# ATM entries
+# ----------------------------------------------------------------------
+def atm_staggered(algorithm: str = "phantom",
+                  algorithm_params: Mapping[str, Any] | None = None,
+                  session_params: Mapping[str, Any] | None = None,
+                  n_sessions: int = 2, stagger: float = 0.03,
+                  duration: float = 0.25,
+                  link_rate: float = 150.0) -> AtmRun:
+    return atm_scenarios.staggered_start(
+        _algorithm_factory(algorithm, algorithm_params),
+        n_sessions=n_sessions, stagger=stagger, duration=duration,
+        link_rate=link_rate, **_abr_params(session_params))
+
+
+def atm_rtt(algorithm: str = "phantom",
+            algorithm_params: Mapping[str, Any] | None = None,
+            session_params: Mapping[str, Any] | None = None,
+            access_delays: Sequence[float] = (1e-5, 5e-4, 2e-3),
+            duration: float = 0.3, link_rate: float = 150.0) -> AtmRun:
+    return atm_scenarios.rtt_spread(
+        _algorithm_factory(algorithm, algorithm_params),
+        access_delays=tuple(access_delays), duration=duration,
+        link_rate=link_rate, **_abr_params(session_params))
+
+
+def atm_onoff(algorithm: str = "phantom",
+              algorithm_params: Mapping[str, Any] | None = None,
+              session_params: Mapping[str, Any] | None = None,
+              greedy: int = 1, bursty: int = 2, on_time: float = 0.02,
+              off_time: float = 0.02, duration: float = 0.4,
+              link_rate: float = 150.0, seed: int | None = 7) -> AtmRun:
+    return atm_scenarios.on_off(
+        _algorithm_factory(algorithm, algorithm_params),
+        greedy=greedy, bursty=bursty, on_time=on_time, off_time=off_time,
+        duration=duration, link_rate=link_rate, seed=seed,
+        **_abr_params(session_params))
+
+
+def atm_parking(algorithm: str = "phantom",
+                algorithm_params: Mapping[str, Any] | None = None,
+                session_params: Mapping[str, Any] | None = None,
+                hops: int = 3, duration: float = 0.3,
+                link_rate: float = 150.0) -> AtmRun:
+    return atm_scenarios.parking_lot(
+        _algorithm_factory(algorithm, algorithm_params),
+        hops=hops, duration=duration, link_rate=link_rate,
+        **_abr_params(session_params))
+
+
+def atm_transient(algorithm: str = "phantom",
+                  algorithm_params: Mapping[str, Any] | None = None,
+                  session_params: Mapping[str, Any] | None = None,
+                  duration: float = 0.4, join_at: float = 0.1,
+                  leave_at: float = 0.25,
+                  link_rate: float = 150.0) -> AtmRun:
+    return atm_scenarios.transient(
+        _algorithm_factory(algorithm, algorithm_params),
+        duration=duration, join_at=join_at, leave_at=leave_at,
+        link_rate=link_rate, **_abr_params(session_params))
+
+
+def atm_background(algorithm: str = "phantom",
+                   algorithm_params: Mapping[str, Any] | None = None,
+                   n_sessions: int = 2, cbr_rate: float = 60.0,
+                   cbr_start: float = 0.15, cbr_stop: float = 0.30,
+                   duration: float = 0.45,
+                   link_rate: float = 150.0) -> AtmRun:
+    """ABR sessions sharing a trunk with a guaranteed CBR stream (E23)."""
+    net = AtmNetwork(
+        algorithm_factory=_algorithm_factory(algorithm, algorithm_params),
+        link_rate=link_rate)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    for i in range(n_sessions):
+        net.add_session(f"s{i}", route=["S1", "S2"])
+    net.add_cbr("bg", route=["S1", "S2"], rate_mbps=cbr_rate,
+                start=cbr_start, stop=cbr_stop)
+    result = AtmRun(net=net, bottleneck=net.trunk("S1", "S2"),
+                    duration=duration)
+    net.run(until=duration)
+    return result
+
+
+def atm_weighted(algorithm: str = "phantom",
+                 algorithm_params: Mapping[str, Any] | None = None,
+                 weights: Mapping[str, float] | None = None,
+                 duration: float = 0.3,
+                 link_rate: float = 150.0) -> AtmRun:
+    """Weighted-Phantom fair-share split over one trunk (E25)."""
+    if weights is None:
+        weights = {"w1": 1.0, "w2": 2.0, "w4": 4.0}
+    net = AtmNetwork(
+        algorithm_factory=_algorithm_factory(algorithm, algorithm_params),
+        link_rate=link_rate)
+    net.add_switch("S1")
+    net.add_switch("S2")
+    net.connect("S1", "S2")
+    for name in sorted(weights):
+        net.add_session(name, route=["S1", "S2"],
+                        params=AbrParams(weight=weights[name]))
+    result = AtmRun(net=net, bottleneck=net.trunk("S1", "S2"),
+                    duration=duration)
+    net.run(until=duration)
+    return result
+
+
+# ----------------------------------------------------------------------
+# TCP entries
+# ----------------------------------------------------------------------
+def tcp_rtt(policy: str = "selective-discard",
+            policy_params: Mapping[str, Any] | None = None,
+            access_delays: Sequence[float] = (1e-3, 4e-3),
+            duration: float = 30.0, trunk_rate: float = 10.0):
+    return tcp_scenarios.rtt_fairness(
+        _policy_factory(policy, policy_params),
+        access_delays=tuple(access_delays), duration=duration,
+        trunk_rate=trunk_rate)
+
+
+def tcp_parking(policy: str = "selective-discard",
+                policy_params: Mapping[str, Any] | None = None,
+                hops: int = 3, duration: float = 30.0,
+                trunk_rate: float = 10.0):
+    return tcp_scenarios.tcp_parking_lot(
+        _policy_factory(policy, policy_params),
+        hops=hops, duration=duration, trunk_rate=trunk_rate)
+
+
+def tcp_many(policy: str = "selective-discard",
+             policy_params: Mapping[str, Any] | None = None,
+             n_flows: int = 4, duration: float = 30.0,
+             trunk_rate: float = 10.0, access_delay: float = 2e-3):
+    return tcp_scenarios.many_flows(
+        _policy_factory(policy, policy_params),
+        n_flows=n_flows, duration=duration, trunk_rate=trunk_rate,
+        access_delay=access_delay)
+
+
+def tcp_vegas(policy: str = "selective-discard",
+              policy_params: Mapping[str, Any] | None = None,
+              hungry: Sequence[float] = (8.0, 10.0),
+              modest: Sequence[float] = (1.0, 2.0),
+              duration: float = 30.0, trunk_rate: float = 10.0):
+    return tcp_scenarios.vegas_thresholds(
+        _policy_factory(policy, policy_params),
+        hungry=tuple(hungry), modest=tuple(modest), duration=duration,
+        trunk_rate=trunk_rate)
+
+
+def tcp_mixed(policy: str = "selective-discard",
+              policy_params: Mapping[str, Any] | None = None,
+              duration: float = 30.0, trunk_rate: float = 10.0):
+    return tcp_scenarios.mixed_stacks(
+        _policy_factory(policy, policy_params),
+        duration=duration, trunk_rate=trunk_rate)
+
+
+def tcp_twoway(policy: str = "selective-discard",
+               policy_params: Mapping[str, Any] | None = None,
+               flows_per_direction: int = 2, duration: float = 30.0,
+               trunk_rate: float = 10.0):
+    return tcp_scenarios.two_way(
+        _policy_factory(policy, policy_params),
+        flows_per_direction=flows_per_direction, duration=duration,
+        trunk_rate=trunk_rate)
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+_ATM_DEPS = ("repro.scenarios.atm",)
+_TCP_DEPS = ("repro.scenarios.tcp",)
+
+register_scenario("atm.staggered", atm_staggered, kind="atm",
+                  deps=_ATM_DEPS, param_deps=atm_param_deps)
+register_scenario("atm.rtt", atm_rtt, kind="atm",
+                  deps=_ATM_DEPS, param_deps=atm_param_deps)
+register_scenario("atm.onoff", atm_onoff, kind="atm",
+                  deps=_ATM_DEPS, param_deps=atm_param_deps)
+register_scenario("atm.parking", atm_parking, kind="atm",
+                  deps=_ATM_DEPS, param_deps=atm_param_deps)
+register_scenario("atm.transient", atm_transient, kind="atm",
+                  deps=_ATM_DEPS, param_deps=atm_param_deps)
+register_scenario("atm.background", atm_background, kind="atm",
+                  deps=("repro.atm", "repro.scenarios.results"),
+                  param_deps=atm_param_deps)
+register_scenario("atm.weighted", atm_weighted, kind="atm",
+                  deps=("repro.atm", "repro.scenarios.results"),
+                  param_deps=atm_param_deps)
+
+register_scenario("tcp.rtt", tcp_rtt, kind="tcp",
+                  deps=_TCP_DEPS, param_deps=tcp_param_deps)
+register_scenario("tcp.parking", tcp_parking, kind="tcp",
+                  deps=_TCP_DEPS, param_deps=tcp_param_deps)
+register_scenario("tcp.many", tcp_many, kind="tcp",
+                  deps=_TCP_DEPS, param_deps=tcp_param_deps)
+register_scenario("tcp.vegas", tcp_vegas, kind="tcp",
+                  deps=_TCP_DEPS, param_deps=tcp_param_deps)
+register_scenario("tcp.mixed", tcp_mixed, kind="tcp",
+                  deps=_TCP_DEPS, param_deps=tcp_param_deps)
+register_scenario("tcp.twoway", tcp_twoway, kind="tcp",
+                  deps=_TCP_DEPS, param_deps=tcp_param_deps)

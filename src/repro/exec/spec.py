@@ -1,0 +1,101 @@
+"""Task specs: one simulation run described as plain data.
+
+A :class:`TaskSpec` is the unit of work the executor ships to worker
+processes.  It is deliberately *declarative*: the scenario is named (and
+resolved against :mod:`repro.exec.registry` inside the worker), the
+parameters are JSON-able values, the seed is an explicit integer derived
+from a root seed and the task id.  Nothing in a spec is a closure, a
+lambda, or a live object — work travels as data, so the same spec
+executes identically in-process (``-j1``), in a forked pool (``-jN``),
+or out of the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding used for seeds and fingerprints."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def check_jsonable(value: Any, what: str) -> None:
+    """Reject values that would not survive the spec's data-only trip."""
+    try:
+        canonical_json(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{what} is not JSON-serialisable: {exc}") from exc
+
+
+def derive_seed(root_seed: int, task_id: str) -> int:
+    """Deterministic per-task seed from a root seed and the task id.
+
+    Mirrors :class:`repro.sim.rng.RngStreams` (sha256 over
+    ``"{seed}:{name}"``): stable across processes and Python versions,
+    independent of submission order, and collision-resistant between
+    tasks.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{task_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A declarative, picklable description of one simulation run."""
+
+    #: Display/derivation label, unique within a batch (e.g. ``"E01"``).
+    task_id: str
+    #: Scenario name resolved from :mod:`repro.exec.registry`.
+    scenario: str
+    #: Scenario keyword arguments (JSON-able values only).
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Explicit per-task seed (``None`` for closed scenarios).
+    seed: int | None = None
+    #: Probe names whose full (times, values) series the worker returns
+    #: in addition to the digests of every probe.
+    probes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.task_id:
+            raise ValueError("task_id must be non-empty")
+        if not self.scenario:
+            raise ValueError("scenario must be non-empty")
+        check_jsonable(dict(self.params), f"params of task {self.task_id!r}")
+        object.__setattr__(self, "probes", tuple(self.probes))
+
+    # ------------------------------------------------------------------
+    # canonical / wire forms
+    # ------------------------------------------------------------------
+    def canonical(self) -> str:
+        """Canonical JSON of everything that determines the outcome.
+
+        ``task_id`` is excluded on purpose: it is a label, and two tasks
+        with identical scenario/params/seed/probes must share a cache
+        entry whatever they are called.
+        """
+        return canonical_json({
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "probes": list(self.probes),
+        })
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "scenario": self.scenario,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "probes": list(self.probes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TaskSpec":
+        return cls(task_id=data["task_id"], scenario=data["scenario"],
+                   params=dict(data.get("params", {})),
+                   seed=data.get("seed"),
+                   probes=tuple(data.get("probes", ())))

@@ -1,0 +1,91 @@
+"""Execution rules (EXE*).
+
+The executor (:mod:`repro.exec`) ships work to worker processes as
+*data*: a task spec names its scenario, and the worker re-resolves the
+entry point through the registry by module and name.  That contract
+breaks silently if someone registers a lambda, a closure, or a call
+result — the registration succeeds in-process (the runtime check in
+``register_scenario`` catches most of it, but only when the code runs),
+and the statically-visible cases are cheaper to catch here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, last_attr
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Registration functions whose callable arguments must be module-level.
+_REGISTER_FUNCS = frozenset({"register_scenario"})
+
+#: Keyword arguments of those functions that carry callables.
+_CALLABLE_KWARGS = frozenset({"fn", "param_deps"})
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions (closures)."""
+    nested: set[str] = set()
+    for top in tree.body:
+        if isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for node in ast.walk(top):
+                if node is not top and isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    nested.add(node.name)
+    return nested
+
+
+@register
+class ImportableEntryPointRule(Rule):
+    """EXE001: registered task entry points must be module-level callables.
+
+    A worker process resolves a registered scenario by
+    ``sys.modules[fn.__module__].<fn.__name__>``; a lambda, a function
+    defined inside another function, or a call result (e.g. a
+    ``functools.partial``) cannot be reached that way, so the spec would
+    execute in-process but fail — or silently resolve to a *different*
+    object — once shipped to a worker.  Register a module-level function
+    and parameterise it through the spec's params instead.
+    """
+
+    id = "EXE001"
+    severity = Severity.ERROR
+    summary = ("register_scenario() argument is not a module-level "
+               "importable callable (lambda/closure/call result)")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_repro
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        nested = _nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and last_attr(node) in _REGISTER_FUNCS):
+                continue
+            candidates = list(node.args[1:2])
+            candidates.extend(kw.value for kw in node.keywords
+                              if kw.arg in _CALLABLE_KWARGS)
+            for value in candidates:
+                problem = self._problem(value, nested)
+                if problem:
+                    yield self.finding(
+                        ctx, value,
+                        f"register_scenario() given {problem}; a worker "
+                        "process resolves entry points by module and "
+                        "name, so only module-level functions can be "
+                        "registered (move the parameterisation into the "
+                        "spec's params)")
+
+    @staticmethod
+    def _problem(value: ast.AST, nested: set[str]) -> str | None:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.Call):
+            return ("a call result (e.g. functools.partial), which is "
+                    "not importable by name")
+        if isinstance(value, ast.Name) and value.id in nested:
+            return (f"{value.id!r}, a function defined inside another "
+                    "function (closure)")
+        return None

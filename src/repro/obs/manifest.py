@@ -30,7 +30,7 @@ MANIFEST_VERSION = 1
 #: configuration: they legitimately differ between otherwise-identical
 #: runs and are ignored by :func:`diff_manifests` by default.
 VOLATILE_FIELDS = frozenset({"git_rev", "python", "platform", "wall_s",
-                             "trace"})
+                             "trace", "execution"})
 
 
 def git_revision(cwd: str | None = None) -> str | None:
@@ -49,12 +49,20 @@ def build_manifest(command: str, params: dict[str, Any], *,
                    seed: int | None = None,
                    metrics: dict[str, float] | None = None,
                    wall_s: float | None = None,
-                   trace_path: str | None = None) -> dict[str, Any]:
+                   trace_path: str | None = None,
+                   tasks: list[dict[str, Any]] | None = None,
+                   execution: dict[str, Any] | None = None
+                   ) -> dict[str, Any]:
     """Assemble a manifest dict for one CLI invocation.
 
     ``params`` is the scenario configuration (flag values, scales);
     ``metrics`` is typically ``MetricsRegistry.summary()``; ``wall_s``
-    is the caller-measured wall time of the run.
+    is the caller-measured wall time of the run.  Multi-task commands
+    (``repro suite``/``repro sweep``) pass ``tasks`` — per-task
+    provenance rows (id, scenario, fingerprint, status), which are
+    configuration and diff like it — and ``execution`` — job counts,
+    cache hit/miss tallies and the like, which are volatile and skipped
+    by :func:`diff_manifests` along with the other environment fields.
     """
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
@@ -72,6 +80,10 @@ def build_manifest(command: str, params: dict[str, Any], *,
         manifest["trace"] = trace_path
     if metrics is not None:
         manifest["metrics"] = dict(metrics)
+    if tasks is not None:
+        manifest["tasks"] = [dict(task) for task in tasks]
+    if execution is not None:
+        manifest["execution"] = dict(execution)
     return manifest
 
 

@@ -16,8 +16,9 @@ from repro.perf.golden import (canonical_series, capture, compare_traces,
                                probe_digest, read_trace, trace_from_run,
                                write_trace)
 from repro.perf.runner import (DEFAULT_OUTPUT, DEFAULT_REGRESSION_FACTOR,
-                               check_regression, measure, read_report,
-                               run_suite, write_report)
+                               check_regression, environment_mismatches,
+                               measure, read_report, run_suite,
+                               write_report)
 from repro.perf.workloads import MIN_SCALE, WORKLOADS, Workload
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "capture",
     "check_regression",
     "compare_traces",
+    "environment_mismatches",
     "measure",
     "probe_digest",
     "read_report",

@@ -81,7 +81,7 @@ def probe_digest(probe: Probe) -> dict[str, Any]:
     }
 
 
-def _atm_parts(run: AtmRun) -> tuple[dict, dict]:
+def atm_parts(run: AtmRun) -> tuple[dict, dict]:
     probes: dict[str, Probe] = {}
     counters: dict[str, Any] = {}
     for vc, session in sorted(run.net.sessions.items()):
@@ -106,7 +106,7 @@ def _atm_parts(run: AtmRun) -> tuple[dict, dict]:
     return probes, counters
 
 
-def _tcp_parts(run: TcpRun) -> tuple[dict, dict]:
+def tcp_parts(run: TcpRun) -> tuple[dict, dict]:
     probes: dict[str, Probe] = {}
     counters: dict[str, Any] = {}
     for name, flow in sorted(run.net.flows.items()):
@@ -123,14 +123,22 @@ def _tcp_parts(run: TcpRun) -> tuple[dict, dict]:
     return probes, counters
 
 
+def run_parts(run: Any) -> tuple[dict, dict]:
+    """(probes by name, domain counters) for any supported run handle.
+
+    Shared with :mod:`repro.exec.worker`, whose per-task golden probe
+    digests must cover exactly the series the golden-trace suite gates.
+    """
+    if isinstance(run, AtmRun):
+        return atm_parts(run)
+    if isinstance(run, TcpRun):
+        return tcp_parts(run)
+    raise TypeError(f"unsupported run handle {type(run).__name__}")
+
+
 def trace_from_run(name: str, scale: float, run: Any) -> dict[str, Any]:
     """Build the golden trace dict for an executed workload run."""
-    if isinstance(run, AtmRun):
-        probes, counters = _atm_parts(run)
-    elif isinstance(run, TcpRun):
-        probes, counters = _tcp_parts(run)
-    else:  # pragma: no cover - guards future workload kinds
-        raise TypeError(f"unsupported run handle {type(run).__name__}")
+    probes, counters = run_parts(run)
     sim = run.net.sim
     return {
         "version": TRACE_VERSION,

@@ -78,6 +78,26 @@ def run_suite(names: Iterable[str] | None = None, scale: float = 1.0,
     }
 
 
+def environment_mismatches(current: dict[str, Any],
+                           baseline: dict[str, Any]) -> list[str]:
+    """Environment fields on which ``current`` and ``baseline`` disagree.
+
+    Wall-clock numbers only gate meaningfully against a baseline captured
+    on a comparable host; a baseline from another machine or interpreter
+    should be *flagged*, not silently compared.  Returns one line per
+    differing field (empty = same recorded environment); fields absent
+    from either report (pre-versioned baselines) are not flagged.
+    """
+    notes: list[str] = []
+    for field in ("python", "machine"):
+        ours = current.get(field)
+        theirs = baseline.get(field)
+        if ours and theirs and ours != theirs:
+            notes.append(f"{field}: baseline recorded {theirs!r}, "
+                         f"this host reports {ours!r}")
+    return notes
+
+
 def check_regression(current: dict[str, Any], baseline: dict[str, Any],
                      factor: float = DEFAULT_REGRESSION_FACTOR) -> list[str]:
     """Compare normalised wall cost against a baseline report.

@@ -9,6 +9,7 @@ mechanism.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.core import PhantomParams
@@ -38,38 +39,43 @@ TCP_PHANTOM_PARAMS = PhantomParams(interval=0.05, alpha_inc=0.25,
 TCP_RENO_PARAMS = RenoParams(rate_interval=0.02)
 
 
+# The factories return functools.partial objects bound to module-level
+# policy classes — picklable, so an executor (repro.exec) can ship a
+# resolved factory to a worker process, where a lambda/closure could not
+# be shipped at all.
+
 def drop_tail_policy(buffer_packets: int = 100) -> PolicyFactory:
-    return lambda: DropTail(buffer_packets)
+    return partial(DropTail, buffer_packets)
 
 
 def selective_discard_policy(buffer_packets: int = 100,
                              drop_gap: float = 0.04,
                              params: PhantomParams = TCP_PHANTOM_PARAMS,
                              ) -> PolicyFactory:
-    return lambda: SelectiveDiscard(buffer_packets=buffer_packets,
-                                    params=params, drop_gap=drop_gap)
+    return partial(SelectiveDiscard, buffer_packets=buffer_packets,
+                   params=params, drop_gap=drop_gap)
 
 
 def selective_quench_policy(buffer_packets: int = 100,
                             min_gap: float = 0.04,
                             params: PhantomParams = TCP_PHANTOM_PARAMS,
                             ) -> PolicyFactory:
-    return lambda: SelectiveQuench(buffer_packets=buffer_packets,
-                                   params=params, min_gap=min_gap)
+    return partial(SelectiveQuench, buffer_packets=buffer_packets,
+                   params=params, min_gap=min_gap)
 
 
 def selective_efci_policy(buffer_packets: int = 400,
                           params: PhantomParams = TCP_PHANTOM_PARAMS,
                           ) -> PolicyFactory:
-    return lambda: SelectiveEfci(buffer_packets=buffer_packets,
-                                 params=params)
+    return partial(SelectiveEfci, buffer_packets=buffer_packets,
+                   params=params)
 
 
 def selective_red_policy(buffer_packets: int = 100,
                          params: PhantomParams = TCP_PHANTOM_PARAMS,
                          **red_kwargs) -> PolicyFactory:
-    return lambda: SelectiveRed(buffer_packets=buffer_packets,
-                                params=params, **red_kwargs)
+    return partial(SelectiveRed, buffer_packets=buffer_packets,
+                   params=params, **red_kwargs)
 
 
 def rtt_fairness(policy_factory: PolicyFactory,

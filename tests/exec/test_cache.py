@@ -1,0 +1,69 @@
+"""ResultCache: round-trips, corruption handling, atomicity hygiene."""
+
+import json
+
+from repro.exec import ResultCache
+from repro.exec.cache import CACHE_VERSION
+
+FP = "ab" + "0" * 62
+PAYLOAD = {"status": "ok", "metrics": {"jain": 0.999875},
+           "probe_digests": {"s0.acr": {"n": 3, "sha256": "x"}}}
+
+
+def test_round_trip_and_stats(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(FP) is None
+    cache.put(FP, PAYLOAD, spec={"task_id": "E01"})
+    assert FP in cache
+    assert cache.get(FP) == PAYLOAD
+    assert cache.stats() == {"hits": 1, "misses": 1}
+
+
+def test_floats_survive_bitwise(tmp_path):
+    cache = ResultCache(tmp_path)
+    value = 0.1 + 0.2  # not representable; repr round-trip must hold
+    cache.put(FP, {"status": "ok", "metrics": {"v": value}})
+    got = cache.get(FP)["metrics"]["v"]
+    assert got == value and got.hex() == value.hex()
+
+
+def test_entries_are_sharded_by_prefix(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    assert (tmp_path / FP[:2] / f"{FP}.json").is_file()
+    # no temp files left behind
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    path = tmp_path / FP[:2] / f"{FP}.json"
+    path.write_text("{ not json")
+    assert cache.get(FP) is None
+
+
+def test_version_or_fingerprint_mismatch_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    path = tmp_path / FP[:2] / f"{FP}.json"
+    entry = json.loads(path.read_text())
+
+    stale = dict(entry, cache_version=CACHE_VERSION - 1)
+    path.write_text(json.dumps(stale))
+    assert cache.get(FP) is None
+
+    moved = dict(entry, fingerprint="cd" + "0" * 62)
+    path.write_text(json.dumps(moved))
+    assert cache.get(FP) is None
+
+    # intact entry still hits
+    path.write_text(json.dumps(entry))
+    assert cache.get(FP) == PAYLOAD
+
+
+def test_put_overwrites(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    cache.put(FP, {"status": "ok", "metrics": {}})
+    assert cache.get(FP) == {"status": "ok", "metrics": {}}

@@ -1,0 +1,125 @@
+"""The suite table and sweep-grid expansion."""
+
+import pytest
+
+from repro.exec import (TaskSpec, all_scenarios, experiment_ids,
+                        suite_specs, sweep_specs)
+from repro.exec.suite import MIN_SCALE, SUITE, _TIME_KEYS
+
+
+# ----------------------------------------------------------------------
+# the suite table
+# ----------------------------------------------------------------------
+def test_suite_rows_are_unique_and_resolvable():
+    ids = [task_id for task_id, _, _ in SUITE]
+    assert len(ids) == len(set(ids))
+    known = set(all_scenarios())
+    for _, scenario, _ in SUITE:
+        assert scenario in known
+
+
+def test_suite_covers_e01_through_e26():
+    assert experiment_ids() == [f"E{n:02d}" for n in range(1, 27)]
+
+
+def test_suite_specs_build_and_scale():
+    full = suite_specs()
+    assert len(full) == len(SUITE)
+    scaled = suite_specs(scale=0.5)
+    for spec, half in zip(full, scaled):
+        assert half.task_id == spec.task_id
+        for key in _TIME_KEYS:
+            if key in spec.params:
+                assert half.params[key] == pytest.approx(
+                    spec.params[key] * 0.5)
+        untouched = set(spec.params) - set(_TIME_KEYS)
+        assert {k: half.params[k] for k in untouched} \
+            == {k: spec.params[k] for k in untouched}
+
+
+def test_scale_is_part_of_the_spec_identity():
+    full = suite_specs()[0]
+    scaled = suite_specs(scale=0.5)[0]
+    assert full.canonical() != scaled.canonical()
+
+
+def test_suite_scale_floor():
+    with pytest.raises(ValueError, match="scale"):
+        suite_specs(scale=MIN_SCALE / 2)
+
+
+def test_experiment_filter_and_case():
+    picked = suite_specs(experiments=["e01", "E11"])
+    assert [s.task_id for s in picked] == ["E01", "E11-droptail",
+                                           "E11-sd"]
+    with pytest.raises(ValueError, match="E99"):
+        suite_specs(experiments=["E99"])
+
+
+def test_seeds_only_where_the_entry_draws():
+    by_id = {s.task_id: s for s in suite_specs(seed=5)}
+    assert by_id["E02"].seed is not None      # on/off draws periods
+    assert by_id["E01"].seed is None          # staggered is seed-free
+    # distinct tasks get distinct derived seeds
+    seeds = [s.seed for s in suite_specs(seed=5) if s.seed is not None]
+    assert len(seeds) == len(set(seeds))
+    # and the root seed matters
+    assert by_id["E02"].seed != {
+        s.task_id: s for s in suite_specs(seed=6)}["E02"].seed
+
+
+# ----------------------------------------------------------------------
+# sweeps
+# ----------------------------------------------------------------------
+def test_sweep_expands_the_cartesian_product_in_order():
+    specs = sweep_specs("atm.staggered",
+                        {"n_sessions": [2, 3], "duration": [0.1, 0.2]})
+    assert [s.task_id for s in specs] == [
+        "atm.staggered[n_sessions=2,duration=0.1]",
+        "atm.staggered[n_sessions=2,duration=0.2]",
+        "atm.staggered[n_sessions=3,duration=0.1]",
+        "atm.staggered[n_sessions=3,duration=0.2]",
+    ]
+    assert specs[2].params == {"n_sessions": 3, "duration": 0.1}
+
+
+def test_sweep_dotted_keys_reach_nested_params():
+    (spec,) = sweep_specs(
+        "atm.staggered",
+        {"algorithm_params.utilization_factor": [0.9]},
+        base={"duration": 0.1})
+    assert spec.params == {
+        "duration": 0.1,
+        "algorithm_params": {"utilization_factor": 0.9}}
+
+
+def test_sweep_does_not_share_or_mutate_base():
+    base = {"duration": 0.1, "algorithm_params": {"interval": 1e-3}}
+    specs = sweep_specs("atm.staggered",
+                        {"algorithm_params.utilization_factor": [0.8,
+                                                                 0.9]},
+                        base=base)
+    assert base == {"duration": 0.1,
+                    "algorithm_params": {"interval": 1e-3}}
+    a, b = (s.params["algorithm_params"] for s in specs)
+    assert a["utilization_factor"] == 0.8
+    assert b["utilization_factor"] == 0.9
+    assert a["interval"] == b["interval"] == 1e-3
+
+
+def test_sweep_attaches_probes_and_validates_axes():
+    (spec,) = sweep_specs("atm.staggered", {"duration": [0.1]},
+                          probes=["s0.acr", "s1.acr"])
+    assert spec.probes == ("s0.acr", "s1.acr")
+    with pytest.raises(ValueError, match="at least one axis"):
+        sweep_specs("atm.staggered", {})
+    with pytest.raises(ValueError, match="no values"):
+        sweep_specs("atm.staggered", {"duration": []})
+    with pytest.raises(KeyError):
+        sweep_specs("atm.nope", {"duration": [0.1]})
+
+
+def test_sweep_specs_are_valid_task_specs():
+    for spec in sweep_specs("tcp.rtt", {"duration": [1.0, 2.0]}):
+        assert isinstance(spec, TaskSpec)
+        assert spec.seed is None  # tcp.rtt takes no seed

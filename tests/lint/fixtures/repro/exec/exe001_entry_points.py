@@ -1,0 +1,46 @@
+"""EXE001 fixture: registering non-importable task entry points.
+
+Flagged lines are tagged; the module-level registrations and the
+pragma'd twin must stay silent.
+"""
+
+from functools import partial
+
+from repro.exec.registry import register_scenario
+
+
+def good_entry(duration: float = 0.1):
+    return duration
+
+
+def good_param_deps(params):
+    return ()
+
+
+# module-level function: fine, by name and through a keyword
+register_scenario("ok.positional", good_entry, kind="atm")
+register_scenario("ok.keyword", fn=good_entry, kind="atm",
+                  param_deps=good_param_deps)
+
+# a lambda can never be re-imported inside a worker
+register_scenario("bad.lambda", lambda: None, kind="atm")  # violation
+
+# call results (partials included) are not importable by name
+register_scenario("bad.partial", partial(good_entry, 0.2),  # violation
+                  kind="atm")
+
+# callable keyword arguments are checked too
+register_scenario("bad.param_deps", good_entry, kind="atm",
+                  param_deps=lambda params: ())  # violation
+
+
+def _register_closure():
+    def closure_entry(duration: float = 0.1):
+        return duration
+
+    # nested function: resolvable in-process, unreachable from a worker
+    register_scenario("bad.closure", closure_entry, kind="atm")  # violation
+    # suppressed twin: silent, with a recorded justification
+    register_scenario(  # test fixture exercising the pragma path
+        "ok.suppressed", closure_entry,  # lint: disable=EXE001
+        kind="atm")

@@ -1,0 +1,45 @@
+"""EXE001: importable-entry-point rule."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_exe001_flagged_and_suppressible():
+    assert_rule_matches_fixture("EXE001", "exe001_entry_points.py",
+                                package="exec")
+
+
+def test_exe001_module_level_function_is_clean():
+    source = ("def entry(duration=0.1):\n"
+              "    return duration\n"
+              "\n"
+              "register_scenario('atm.x', entry, kind='atm')\n")
+    assert [f for f in lint_snippet(source, "src/repro/exec/mod.py")
+            if f.rule_id == "EXE001"] == []
+
+
+def test_exe001_flags_lambda_and_call_results():
+    source = ("register_scenario('a', lambda: None, kind='atm')\n"
+              "register_scenario('b', partial(f, 1), kind='atm')\n")
+    findings = [f for f in lint_snippet(source, "src/repro/exec/mod.py")
+                if f.rule_id == "EXE001"]
+    assert [f.line for f in findings] == [1, 2]
+
+
+def test_exe001_flags_param_deps_keyword():
+    source = ("def entry():\n"
+              "    pass\n"
+              "\n"
+              "register_scenario('a', entry, kind='atm',\n"
+              "                  param_deps=lambda p: ())\n")
+    findings = [f for f in lint_snippet(source, "src/repro/exec/mod.py")
+                if f.rule_id == "EXE001"]
+    assert [f.line for f in findings] == [5]
+
+
+def test_exe001_applies_outside_the_exec_package_too():
+    # registration can happen anywhere in repro (tests, plugins)
+    source = "register_scenario('a', lambda: None, kind='atm')\n"
+    findings = [f for f in
+                lint_snippet(source, "src/repro/scenarios/mod.py")
+                if f.rule_id == "EXE001"]
+    assert [f.line for f in findings] == [1]

@@ -1,0 +1,26 @@
+"""Cross-machine baseline detection for wall-clock comparisons."""
+
+from repro.perf import environment_mismatches
+
+HOST = {"python": "3.11.9", "machine": "x86_64", "benchmarks": []}
+
+
+def test_same_environment_is_silent():
+    assert environment_mismatches(HOST, dict(HOST)) == []
+
+
+def test_differing_fields_are_each_flagged():
+    other = dict(HOST, python="3.12.1", machine="arm64")
+    notes = environment_mismatches(HOST, other)
+    assert len(notes) == 2
+    assert any("python" in n and "3.12.1" in n and "3.11.9" in n
+               for n in notes)
+    assert any("machine" in n and "arm64" in n for n in notes)
+
+
+def test_absent_fields_are_not_flagged():
+    # pre-versioned baselines recorded no environment at all
+    assert environment_mismatches(HOST, {"benchmarks": []}) == []
+    assert environment_mismatches({}, HOST) == []
+    partial = {"python": HOST["python"]}  # no machine field
+    assert environment_mismatches(HOST, dict(partial, machine="")) == []
