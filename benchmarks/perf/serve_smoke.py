@@ -1,0 +1,100 @@
+"""CI smoke for the repro.serve gateway (the serve-smoke workflow job).
+
+Boots a real ``python -m repro serve`` subprocess and walks the whole
+surface once: fresh job, cached re-submit with the identical golden
+digest, invalid scenario -> 400, /healthz and /metrics scrapes, then a
+SIGTERM and a clean drained exit 0 with the manifest on disk.
+
+Named without the ``bench_`` prefix so pytest does not collect it.
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServeClient, ServeError
+
+JOB = {"scenario": "atm.staggered", "params": {"duration": 0.02},
+       "probes": ("s0.acr",)}
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"serve-smoke FAIL: {message}")
+    print(f"serve-smoke ok: {message}", flush=True)
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    manifest = workdir / "manifest.json"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--slots", "2", "--cache", str(workdir / "cache"),
+         "--manifest", str(manifest)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        check(match is not None, f"server announced itself: {line.strip()}")
+        client = ServeClient(match.group(1), int(match.group(2)),
+                             client_id="smoke")
+
+        fresh = client.submit_and_wait(**JOB, deadline_s=120)
+        check(fresh["state"] == "ok" and fresh["cached"] is False,
+              "fresh job ran to ok")
+        check(bool(fresh["probe_digests"]), "fresh job carries digests")
+
+        again = client.submit_and_wait(**JOB, deadline_s=120)
+        check(again["cached"] is True, "re-submit was served from cache")
+        check(again["probe_digests"] == fresh["probe_digests"],
+              "cached digests are bit-identical")
+
+        try:
+            client.submit("no.such.scenario")
+            check(False, "invalid scenario was accepted")
+        except ServeError as exc:
+            check(exc.status == 400, "invalid scenario -> 400")
+
+        health = client.healthz()
+        check(health["status"] == "ok", "/healthz is ok")
+        check(health["admission"]["enabled"] is True,
+              "admission controller is live")
+        metrics = client.metrics_text()
+        check("repro_serve_requests_total" in metrics
+              and "repro_serve_macr_rps" in metrics,
+              "/metrics exposes request and admission families")
+        check(client.allowed_rate_rps is not None
+              and client.allowed_rate_rps > 0,
+              "X-Allowed-Rate is stamped on responses")
+        client.close()
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        check(code == 0, "SIGTERM drained to exit 0")
+        data = json.loads(manifest.read_text())
+        check(data["execution"]["jobs"].get("ok") == 2,
+              "manifest records both jobs ok")
+        print("serve-smoke PASS", flush=True)
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+            print(proc.stdout.read(), file=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,10 +66,16 @@ TCP_SCENARIOS = {
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
+    # imported here so the exec entry points only load when listed
+    from repro.exec.registry import all_scenarios
+
     print("ATM scenarios :", ", ".join(sorted(ATM_SCENARIOS)))
     print("ATM algorithms:", ", ".join(sorted(ATM_ALGORITHMS)))
     print("TCP scenarios :", ", ".join(sorted(TCP_SCENARIOS)))
     print("TCP policies  :", ", ".join(sorted(TCP_POLICIES)))
+    # the registry names are the valid `scenario` values for both
+    # `repro suite/sweep` and the serve API's POST /jobs
+    print("exec scenarios:", ", ".join(all_scenarios()))
     return 0
 
 
@@ -278,6 +284,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return exec_cli.run_sweep_command(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # imported here so `repro list/atm/...` never pays for the gateway
+    from repro.serve import cli as serve_cli
+
+    return serve_cli.run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -375,6 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
                       "scenario (see docs/EXECUTION.md)")
     exec_cli.add_sweep_arguments(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
+
+    from repro.serve import cli as serve_cli
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation-as-a-service gateway with "
+                      "Phantom-MACR admission control (see "
+                      "docs/SERVING.md)")
+    serve_cli.add_arguments(serve)
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -12,13 +12,17 @@ Layout: ``<root>/<aa>/<fingerprint>.json`` (two-hex-char shard
 directories keep any one directory small).  Writes go through a
 same-directory temp file and ``os.replace`` so concurrent workers and
 interrupted runs can never leave a torn entry; corrupt or unreadable
-entries are treated as misses and overwritten.
+entries are treated as misses and overwritten.  Temp names embed pid
+*and* thread id — one cache instance may be shared by many bridge
+threads (``repro.serve``) as well as many worker processes — and the
+hit/miss tallies are guarded by a lock for the same reason.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -37,6 +41,7 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self._stats_lock = threading.Lock()
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
@@ -48,16 +53,23 @@ class ResultCache:
             with open(path, encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):
-            self.misses += 1
+            self._count(miss=True)
             return None
         if (not isinstance(entry, dict)
                 or entry.get("cache_version") != CACHE_VERSION
                 or entry.get("fingerprint") != fingerprint
                 or not isinstance(entry.get("payload"), dict)):
-            self.misses += 1
+            self._count(miss=True)
             return None
-        self.hits += 1
+        self._count(miss=False)
         return entry["payload"]
+
+    def _count(self, *, miss: bool) -> None:
+        with self._stats_lock:
+            if miss:
+                self.misses += 1
+            else:
+                self.hits += 1
 
     def put(self, fingerprint: str, payload: dict[str, Any], *,
             spec: dict[str, Any] | None = None) -> None:
@@ -70,7 +82,8 @@ class ResultCache:
             "spec": spec,
             "payload": payload,
         }
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(entry, fh, sort_keys=True)
             fh.write("\n")
@@ -80,4 +93,5 @@ class ResultCache:
         return self._path(fingerprint).is_file()
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        with self._stats_lock:
+            return {"hits": self.hits, "misses": self.misses}

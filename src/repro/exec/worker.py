@@ -23,6 +23,7 @@ tearing down the executor.
 from __future__ import annotations
 
 import signal
+import threading
 import time
 import traceback
 from typing import Any
@@ -97,7 +98,11 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
     except KeyError as exc:
         return _failure(spec, "error", str(exc))
 
-    use_alarm = bool(timeout) and hasattr(signal, "SIGALRM")
+    # signal.signal is only legal on the main thread; on a bridge thread
+    # (repro.serve's executor) the caller enforces the budget instead
+    use_alarm = (bool(timeout) and hasattr(signal, "SIGALRM")
+                 and threading.current_thread()
+                 is threading.main_thread())
     previous = None
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _on_alarm)

@@ -1,4 +1,4 @@
 """Built-in rule modules; importing this package registers every rule."""
 
 from repro.lint.rules import (determinism, exec, obs, perf,  # noqa: F401
-                              simapi, units)
+                              serve, simapi, units)

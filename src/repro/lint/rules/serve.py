@@ -1,0 +1,94 @@
+"""Serving rules (SRV*).
+
+The gateway (:mod:`repro.serve`) runs everything on one event loop;
+a single blocking call in a coroutine stalls every connection, every
+event stream, and the admission controller's measurement clock at once.
+The legitimate blocking work (running a simulation through
+``run_tasks``) has exactly one sanctioned home — the
+``run_in_executor`` bridge in ``repro.serve.runner`` — where it is a
+*reference*, not a call, inside the coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import FileContext, call_name, last_attr
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Exact dotted call names that block the calling thread.
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+})
+
+#: Call targets (last component) that run simulations synchronously;
+#: coroutines must go through the executor bridge instead.
+EXECUTOR_ONLY_CALLS = frozenset({"run_tasks", "execute_spec",
+                                 "execute_task"})
+
+
+@register
+class BlockingCallInCoroutineRule(Rule):
+    """SRV001: blocking call inside an ``async def`` in ``repro.serve``.
+
+    ``time.sleep``/``subprocess.*`` freeze the event loop for their full
+    duration (``asyncio.sleep`` and executor bridges exist for this),
+    and calling ``run_tasks``/``execute_spec`` directly from a coroutine
+    runs a whole simulation on the loop thread — every other client
+    stalls and the admission law's Δt intervals stretch with it.  Hand
+    blocking work to ``loop.run_in_executor`` (where the function is
+    passed by reference, not called).
+    """
+
+    id = "SRV001"
+    severity = Severity.ERROR
+    summary = ("blocking call inside an async def in repro.serve; use "
+               "asyncio primitives or the run_in_executor bridge")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("serve")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            problem = self._problem(node)
+            if problem is None:
+                continue
+            if self._enclosing_coroutine(ctx, node) is not None:
+                yield self.finding(ctx, node, problem)
+
+    @staticmethod
+    def _problem(node: ast.Call) -> str | None:
+        dotted = call_name(node)
+        if dotted in BLOCKING_CALLS:
+            hint = ("await asyncio.sleep(...)" if dotted == "time.sleep"
+                    else "loop.run_in_executor(...)")
+            return (f"{dotted}() blocks the event loop — every "
+                    f"connection and the admission clock stall; use "
+                    f"{hint}")
+        target = last_attr(node)
+        if target in EXECUTOR_ONLY_CALLS:
+            return (f"{target}() runs a simulation synchronously on the "
+                    "loop thread; pass it by reference to "
+                    "loop.run_in_executor(...) instead")
+        return None
+
+    @staticmethod
+    def _enclosing_coroutine(ctx: FileContext,
+                             node: ast.AST) -> ast.AsyncFunctionDef | None:
+        """The nearest enclosing function, when it is ``async def``.
+
+        A sync function nested inside a coroutine is its own scope — it
+        may legitimately be the very function shipped to the executor —
+        so only the *directly* enclosing function is considered.
+        """
+        scope = ctx.parent(node)
+        while scope is not None and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope = ctx.parent(scope)
+        return scope if isinstance(scope, ast.AsyncFunctionDef) else None

@@ -1,0 +1,51 @@
+"""Simulation-as-a-service: an asyncio HTTP gateway over ``repro.exec``.
+
+The serve layer puts a network front door on the batch executor
+(:mod:`repro.exec`): clients POST declarative
+:class:`~repro.exec.spec.TaskSpec` JSON to ``/jobs``, the server
+validates the scenario against the exec registry, runs it through
+``run_tasks`` (cache-first, worker pool bridged off the event loop via
+``run_in_executor``), and clients poll ``GET /jobs/<id>`` or stream
+``GET /jobs/<id>/events``.
+
+The headline is the **admission layer**
+(:class:`~repro.serve.admission.PhantomAdmission`): the paper's MACR
+filter applied to the service itself.  Each client is a session, the
+worker pool is the link; residual worker capacity is measured over
+fixed Δt intervals, filtered into a MACR with the paper's asymmetric
+gains (reusing :class:`repro.core.macr.MacrFilter`), and every client
+is granted ``utilization_factor × MACR`` requests/s.  Following the OSU
+explicit-rate scheme the computed rate is returned *explicitly* — every
+response carries ``X-Allowed-Rate``, and a rejected submission gets
+``429`` with ``Retry-After`` derived from the grant — so overload sheds
+excess load at the door and accepted-job latency stays bounded instead
+of the queue collapsing.
+
+See docs/SERVING.md for the protocol, the admission law, and the
+operational story (``/healthz``, ``/metrics``, graceful SIGTERM drain,
+run manifests).
+"""
+
+from repro.serve.admission import AdmissionDecision, PhantomAdmission
+from repro.serve.client import RateLimited, ServeClient, ServeError
+from repro.serve.protocol import (ProtocolError, parse_submission,
+                                  spec_from_submission)
+from repro.serve.queue import TERMINAL_STATES, Job, JobQueue, JobStore
+from repro.serve.server import ServeApp, ServeConfig
+
+__all__ = [
+    "AdmissionDecision",
+    "Job",
+    "JobQueue",
+    "JobStore",
+    "PhantomAdmission",
+    "ProtocolError",
+    "RateLimited",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "TERMINAL_STATES",
+    "parse_submission",
+    "spec_from_submission",
+]

@@ -1,0 +1,192 @@
+"""Phantom-MACR admission control for the serve gateway.
+
+The paper's algorithm, transplanted: treat the worker pool as the link
+(capacity in jobs/s instead of Mb/s), each client as a session, and an
+imaginary *phantom client* as the probe of spare capacity.  Over fixed
+Δt intervals the controller measures the residual service rate
+
+    Δ = capacity − admitted/Δt
+
+— what the phantom client would have gotten — and folds it into a MACR
+with the paper's filter verbatim (:class:`repro.core.macr.MacrFilter`:
+asymmetric increase/decrease gains, Jacobson mean-deviation damping).
+Every client may submit at up to ``utilization_factor × MACR`` requests
+per second, enforced by a per-client token bucket.  At equilibrium with
+``n`` saturating clients each converges to ``f·C/(n·f+1)`` — the same
+max-min point the switch algorithm reaches — so total admitted load
+stays strictly below capacity and accepted-job latency stays bounded,
+whatever the offered load.
+
+Following the OSU explicit-rate scheme [Jain et al.], the computed rate
+is *told* to the client rather than implied: every response carries
+``X-Allowed-Rate`` and a rejection carries ``Retry-After`` — the time
+until the client's bucket holds a whole token again at its granted
+rate.
+
+State is constant per client (a token count and two timestamps) plus
+the filter's two scalars — the paper's constant-space claim survives
+the transplant.  All methods take an explicit ``now`` from the caller's
+clock, so the controller itself never reads wall time and unit tests
+drive it deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple
+
+from repro.core.macr import MacrFilter
+from repro.core.params import PhantomParams
+
+#: Intervals folded at most per catch-up: after a long idle gap the
+#: filter sees this many full-capacity residuals (enough to saturate
+#: MACR at any gain) and then resynchronises, keeping ticks O(1).
+MAX_CATCHUP_INTERVALS = 64
+
+
+class AdmissionDecision(NamedTuple):
+    """Outcome of one submission attempt."""
+
+    admitted: bool
+    #: The client's current grant, f·MACR clamped (requests/s).
+    allowed_rate_rps: float
+    #: Seconds until the next token accrues (0.0 when admitted).
+    retry_after_s: float
+
+
+class _Bucket:
+    """Per-client token bucket refilled at the granted rate."""
+
+    __slots__ = ("tokens", "refilled_at", "seen_at")
+
+    def __init__(self, tokens: float, now: float):
+        self.tokens = tokens
+        self.refilled_at = now
+        self.seen_at = now
+
+
+class PhantomAdmission:
+    """Grant per-client request rates the way Phantom grants ACRs."""
+
+    def __init__(self, capacity_rps: float,
+                 params: PhantomParams | None = None, *,
+                 burst: float = 1.0, enabled: bool = True):
+        if capacity_rps <= 0:
+            raise ValueError(
+                f"capacity_rps must be positive, got {capacity_rps!r}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1 token, got {burst!r}")
+        if params is None:
+            # Service-scale defaults: the paper's gains, a Δt long
+            # enough to see several completions, MACR starting at
+            # capacity (optimistic, chased down fast by alpha_dec).
+            params = PhantomParams(interval=0.25,
+                                   macr_init=capacity_rps)
+        self.capacity_rps = capacity_rps
+        self.params = params
+        self.burst = burst
+        self.enabled = enabled
+        self.filter = MacrFilter(capacity_rps, params)
+        self._buckets: dict[str, _Bucket] = {}
+        self._interval_start: float | None = None
+        self._admitted_in_interval = 0
+        # lifetime tallies for /metrics
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    # ------------------------------------------------------------------
+    # the measurement loop
+    # ------------------------------------------------------------------
+    @property
+    def grant_rps(self) -> float:
+        """Per-client allowed rate: f·MACR in [floor, capacity]."""
+        p = self.params
+        floor = p.grant_floor_fraction * self.capacity_rps
+        raw = p.utilization_factor * self.filter.macr
+        return min(max(raw, floor), self.capacity_rps)
+
+    def tick(self, now: float) -> None:
+        """Fold every Δt interval that has completed by ``now``."""
+        if self._interval_start is None:
+            self._interval_start = now
+            return
+        interval = self.params.interval
+        elapsed = now - self._interval_start
+        if elapsed < interval:
+            return
+        whole = int(elapsed / interval)
+        if whole > MAX_CATCHUP_INTERVALS:
+            # long idle gap: fold a bounded number of all-idle intervals
+            # (the filter saturates well before the cap) and resync
+            whole = MAX_CATCHUP_INTERVALS
+            self._interval_start = now - interval
+        # the first completed interval carries the admissions counted in
+        # it; any further completed intervals were fully idle
+        residual = (self.capacity_rps
+                    - self._admitted_in_interval / interval)
+        self.filter.update(residual)
+        self._admitted_in_interval = 0
+        for _ in range(whole - 1):
+            self.filter.update(self.capacity_rps)
+        self._interval_start += whole * interval
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        """Drop buckets idle long enough to have refilled completely."""
+        horizon = 100 * self.params.interval
+        stale = [client for client, bucket in self._buckets.items()
+                 if now - bucket.seen_at > horizon]
+        for client in stale:
+            del self._buckets[client]
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def try_admit(self, client: str, now: float) -> AdmissionDecision:
+        """Charge one submission from ``client`` against its grant."""
+        self.tick(now)
+        grant = self.grant_rps
+        if not self.enabled:
+            # ablation mode (unbounded FIFO): count the arrival so the
+            # filter still *measures*, but never reject
+            self._admitted_in_interval += 1
+            self.admitted_total += 1
+            return AdmissionDecision(True, self.capacity_rps, 0.0)
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = _Bucket(self.burst, now)
+        else:
+            bucket.tokens = min(
+                self.burst,
+                bucket.tokens + grant * (now - bucket.refilled_at))
+            bucket.refilled_at = now
+            bucket.seen_at = now
+        if bucket.tokens >= 1.0:
+            bucket.tokens -= 1.0
+            self._admitted_in_interval += 1
+            self.admitted_total += 1
+            return AdmissionDecision(True, grant, 0.0)
+        self.rejected_total += 1
+        retry = (1.0 - bucket.tokens) / grant
+        return AdmissionDecision(False, grant, retry)
+
+    def allowed_rate(self, client: str, now: float) -> float:
+        """The rate to stamp on a non-submission response."""
+        self.tick(now)
+        return self.grant_rps if self.enabled else self.capacity_rps
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """Scalar state for /healthz and the metrics gauges."""
+        return {
+            "enabled": self.enabled,
+            "capacity_rps": self.capacity_rps,
+            "macr_rps": self.filter.macr,
+            "dev_rps": self.filter.dev,
+            "grant_rps": self.grant_rps,
+            "clients": len(self._buckets),
+            "admitted_total": self.admitted_total,
+            "rejected_total": self.rejected_total,
+            "filter_updates": self.filter.updates,
+        }

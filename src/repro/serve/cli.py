@@ -1,0 +1,80 @@
+"""``repro serve`` — run the gateway from the command line.
+
+Prints ``listening on http://<host>:<port>`` once the socket is bound
+(with ``--port 0`` the kernel picks the port, so scripts — the CI smoke
+test among them — parse this line), then runs until SIGTERM/SIGINT
+triggers the graceful drain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.exec.cache import DEFAULT_CACHE_DIR
+from repro.serve.server import ServeApp, ServeConfig
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listen port; 0 picks a free one")
+    parser.add_argument("--slots", type=int, default=2,
+                        help="executor bridge threads (default 2)")
+    parser.add_argument("--capacity", type=float, default=8.0,
+                        help="nominal service capacity in jobs/s the "
+                             "admission law measures against")
+    parser.add_argument("--burst", type=float, default=2.0,
+                        help="per-client token-bucket depth")
+    parser.add_argument("--interval", type=float, default=0.25,
+                        help="admission measurement interval Δt (s)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="job-queue backstop bound (503 past it)")
+    parser.add_argument("--job-timeout", type=float, default=60.0,
+                        help="per-job wall budget in seconds; 0 disables")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="re-attempts per failing job")
+    parser.add_argument("--cache", default=DEFAULT_CACHE_DIR,
+                        help="result-cache directory; '' disables")
+    parser.add_argument("--manifest", default="serve_manifest.json",
+                        help="drain manifest path; '' disables")
+    parser.add_argument("--no-admission", action="store_true",
+                        help="unbounded-FIFO ablation: disable the "
+                             "Phantom admission controller")
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host, port=args.port, slots=args.slots,
+        capacity_rps=args.capacity, burst=args.burst,
+        admission=not args.no_admission, interval_s=args.interval,
+        queue_limit=args.queue_limit,
+        job_timeout_s=args.job_timeout or None, retries=args.retries,
+        cache_dir=args.cache or None,
+        manifest_path=args.manifest or None)
+
+
+def run(args: argparse.Namespace) -> int:
+    app = ServeApp(config_from_args(args))
+
+    async def _serve_and_announce() -> None:
+        task = asyncio.get_running_loop().create_task(app.serve())
+        while app.port is None and not task.done():
+            await asyncio.sleep(0.01)
+        if app.port is not None:
+            mode = ("phantom admission" if app.config.admission
+                    else "no admission (FIFO ablation)")
+            print(f"listening on http://{app.config.host}:{app.port} "
+                  f"[{mode}, {app.config.slots} slot(s), capacity "
+                  f"{app.config.capacity_rps:g} jobs/s]", flush=True)
+        await task
+
+    try:
+        asyncio.run(_serve_and_announce())
+    except KeyboardInterrupt:      # pragma: no cover - interactive
+        return 130
+    if app.config.manifest_path:
+        print(f"drained; wrote {app.config.manifest_path}", flush=True)
+    else:
+        print("drained", flush=True)
+    return 0

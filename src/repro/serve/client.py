@@ -1,0 +1,210 @@
+"""Blocking client for the serve API, on ``http.client``.
+
+Used by the test suite, the CI smoke script, and the overload load
+generator — anything that needs to talk to the gateway without pulling
+in a dependency.  One :class:`ServeClient` holds one keep-alive
+connection (re-opened transparently after a drop) and identifies itself
+with an ``X-Client`` header, which is what the admission controller
+keys its per-client grant on.
+
+Every response's ``X-Allowed-Rate`` is kept on the client
+(:attr:`ServeClient.allowed_rate_rps`) so callers can pace themselves
+to the explicit grant, the way an OSU-style source would; a 429 raises
+:class:`RateLimited` carrying ``retry_after_s``.
+
+:meth:`ServeClient.wait` does not poll: it reads the job's chunked
+``/events`` stream, which blocks server-side until the next state
+transition and ends at a terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Callable, Iterator
+
+
+class ServeError(Exception):
+    """A non-2xx answer from the server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class RateLimited(ServeError):
+    """429 — over the granted rate; retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, *, retry_after_s: float,
+                 allowed_rate_rps: float):
+        super().__init__(429, message)
+        self.retry_after_s = retry_after_s
+        self.allowed_rate_rps = allowed_rate_rps
+
+
+class ServeClient:
+    """One logical client (one admission bucket) of a serve gateway."""
+
+    def __init__(self, host: str, port: int, *,
+                 client_id: str = "client", timeout_s: float = 60.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+        self.clock = clock
+        #: The server's latest explicit grant for this client (req/s);
+        #: None until the first response.
+        self.allowed_rate_rps: float | None = None
+        self._conn: HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port,
+                                        timeout=self.timeout_s)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str,
+                 payload: Any | None = None):
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = {"X-Client": self.client_id}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                break
+            except (OSError, HTTPException):
+                # stale keep-alive connection; reconnect once
+                self.close()
+                if attempt == 2:
+                    raise
+        rate = response.headers.get("X-Allowed-Rate")
+        if rate is not None:
+            self.allowed_rate_rps = float(rate)
+        return response
+
+    def _json(self, method: str, path: str,
+              payload: Any | None = None) -> dict[str, Any]:
+        response = self._request(method, path, payload)
+        data = response.read()
+        if response.status == 429:
+            retry = float(response.headers.get("Retry-After", "1"))
+            raise RateLimited(_error_message(data),
+                              retry_after_s=retry,
+                              allowed_rate_rps=self.allowed_rate_rps
+                              or 0.0)
+        if response.status >= 400:
+            raise ServeError(response.status, _error_message(data))
+        return json.loads(data.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def submit(self, scenario: str, *,
+               params: dict[str, Any] | None = None,
+               seed: int | None = None,
+               probes: tuple[str, ...] = (),
+               task_id: str | None = None) -> dict[str, Any]:
+        """POST one job; returns the 202 snapshot (``id``, ``state``)."""
+        payload: dict[str, Any] = {"scenario": scenario}
+        if params:
+            payload["params"] = params
+        if seed is not None:
+            payload["seed"] = seed
+        if probes:
+            payload["probes"] = list(probes)
+        if task_id is not None:
+            payload["task_id"] = task_id
+        return self._json("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Stream snapshots until the job reaches a terminal state.
+
+        ``http.client`` decodes the chunked framing; each NDJSON line is
+        one job snapshot.
+        """
+        response = self._request("GET", f"/jobs/{job_id}/events")
+        if response.status >= 400:
+            raise ServeError(response.status,
+                             _error_message(response.read()))
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                yield json.loads(line.decode("utf-8"))
+        finally:
+            # the server closes the connection after a stream
+            self.close()
+
+    def wait(self, job_id: str,
+             deadline_s: float | None = None) -> dict[str, Any]:
+        """Block until the job is terminal; returns the final snapshot."""
+        start = self.clock()
+        last: dict[str, Any] | None = None
+        for snapshot in self.events(job_id):
+            last = snapshot
+            if snapshot["state"] in ("ok", "error", "timeout"):
+                return snapshot
+            if (deadline_s is not None
+                    and self.clock() - start > deadline_s):
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']!r} after "
+                    f"{deadline_s:g}s")
+        if last is None:
+            raise ServeError(500, f"event stream for {job_id} was empty")
+        return last
+
+    def submit_and_wait(self, scenario: str, *,
+                        params: dict[str, Any] | None = None,
+                        seed: int | None = None,
+                        probes: tuple[str, ...] = (),
+                        task_id: str | None = None,
+                        deadline_s: float | None = None
+                        ) -> dict[str, Any]:
+        accepted = self.submit(scenario, params=params, seed=seed,
+                               probes=probes, task_id=task_id)
+        return self.wait(accepted["id"], deadline_s=deadline_s)
+
+    def healthz(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def scenarios(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/scenarios")["scenarios"]
+
+    def metrics_text(self) -> str:
+        response = self._request("GET", "/metrics")
+        data = response.read()
+        if response.status >= 400:
+            raise ServeError(response.status, _error_message(data))
+        return data.decode("utf-8")
+
+
+def _error_message(data: bytes) -> str:
+    try:
+        return json.loads(data.decode("utf-8"))["error"]
+    except (ValueError, KeyError, UnicodeDecodeError):
+        return data.decode("utf-8", "replace").strip() or "no detail"

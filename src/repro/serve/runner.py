@@ -1,0 +1,161 @@
+"""The execution bridge: event loop on one side, ``repro.exec`` on the other.
+
+:class:`PoolRunner` owns a small :class:`~concurrent.futures.ThreadPoolExecutor`
+and one asyncio worker coroutine per slot.  Workers pull job ids off the
+:class:`~repro.serve.queue.JobQueue`, mark the job ``running``, and push
+the actual work through ``loop.run_in_executor`` so the event loop never
+blocks on a simulation.  Each executor call is one
+:func:`repro.exec.pool.run_tasks` invocation with ``jobs=1`` — in-process
+serial execution on the bridge thread, cache-first against the shared
+:class:`~repro.exec.cache.ResultCache` — which is exactly what the parity
+acceptance test compares the HTTP results against.
+
+Per-job wall-clock timeouts are enforced here with ``asyncio.wait_for``
+rather than the worker's ``SIGALRM`` path (signals only work on the main
+thread; see the main-thread guard in :mod:`repro.exec.worker`).  A timed
+-out simulation cannot be interrupted mid-thread — the slot stays busy
+until it finishes — so the job is marked ``timeout`` immediately while
+the thread winds down in the background; admission sees the lost
+capacity through the measured residual rate, which is the point.
+
+Shutdown is two-phase: :meth:`close` stops intake (the server has
+already stopped admitting), then :meth:`drain` waits for every queued
+job to reach a terminal state, releases the workers with sentinels, and
+retires the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import SourceIndex
+from repro.exec.pool import ExecResult, run_tasks
+from repro.exec.spec import TaskSpec
+from repro.serve.queue import Job, JobQueue, JobStore
+
+
+def execute_spec(spec: TaskSpec, *, cache: ResultCache | None = None,
+                 retries: int = 1,
+                 index: SourceIndex | None = None) -> ExecResult:
+    """Run one spec to completion on the calling thread, cache-first.
+
+    Module-level so tests can call the exact code path the executor
+    threads run; ``jobs=1`` keeps execution in-process (no nested pool).
+    """
+    return run_tasks([spec], jobs=1, cache=cache, retries=retries,
+                     index=index)[0]
+
+
+class PoolRunner:
+    """Runs queued jobs on a thread-pool bridge off the event loop."""
+
+    def __init__(self, store: JobStore, queue: JobQueue, *,
+                 slots: int = 2, cache: ResultCache | None = None,
+                 retries: int = 1, job_timeout: float | None = None,
+                 index: SourceIndex | None = None,
+                 on_done: Callable[[Job], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots!r}")
+        self.store = store
+        self.queue = queue
+        self.slots = slots
+        self.cache = cache
+        self.retries = retries
+        self.job_timeout = job_timeout
+        self.index = index
+        self.on_done = on_done
+        self.clock = clock
+        self.active = 0          # jobs currently on a bridge thread
+        self.completed_total = 0
+        self._executor: ThreadPoolExecutor | None = None
+        self._workers: list[asyncio.Task[None]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the executor and one worker coroutine per slot."""
+        if self._executor is not None:
+            raise RuntimeError("runner already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.slots, thread_name_prefix="repro-serve")
+        loop = asyncio.get_running_loop()
+        self._workers = [
+            loop.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.slots)]
+
+    async def drain(self) -> None:
+        """Finish every queued job, then retire workers and executor."""
+        await self.queue.join()
+        for _ in self._workers:
+            self.queue.put_sentinel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._executor is not None:
+            # wait=False: a timed-out simulation may still hold a thread;
+            # every *job* is already terminal, so nothing is lost
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # the worker loop
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job_id = await self.queue.get()
+            try:
+                if job_id is None:
+                    return
+                job = self.store.get(job_id)
+                if job is None or job.done:   # pragma: no cover - guard
+                    continue
+                await self._run_job(loop, job)
+            finally:
+                self.queue.task_done()
+
+    async def _run_job(self, loop: asyncio.AbstractEventLoop,
+                       job: Job) -> None:
+        self.store.mark(job, state="running", started_at=self.clock())
+        self.active += 1
+        try:
+            future = loop.run_in_executor(
+                self._executor, self._execute, job.spec)
+            if self.job_timeout is not None:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), self.job_timeout)
+            else:
+                result = await future
+        except asyncio.TimeoutError:
+            self.store.mark(
+                job, state="timeout", finished_at=self.clock(),
+                error=f"job exceeded the server's {self.job_timeout:g}s "
+                      f"wall budget")
+            return
+        except Exception:
+            self.store.mark(job, state="error",
+                            finished_at=self.clock(),
+                            error=traceback.format_exc())
+            return
+        else:
+            self.store.mark(
+                job, state=result.status, finished_at=self.clock(),
+                cached=result.cached, attempts=result.attempts,
+                fingerprint=result.fingerprint, error=result.error,
+                payload=result.payload)
+        finally:
+            self.active -= 1
+            self.completed_total += 1
+            if self.on_done is not None:
+                self.on_done(job)
+
+    def _execute(self, spec: TaskSpec) -> ExecResult:
+        return execute_spec(spec, cache=self.cache,
+                            retries=self.retries, index=self.index)

@@ -1,0 +1,444 @@
+"""The gateway itself: routing, admission, metrics, graceful drain.
+
+:class:`ServeApp` composes the rest of the package — protocol framing,
+the job store and bounded queue, the :class:`PoolRunner` bridge, and
+:class:`PhantomAdmission` — into one asyncio server.  The event loop
+owns all mutable state (jobs, buckets, metrics), so there are no locks;
+simulations run on the runner's executor threads and report back through
+coroutines.
+
+Endpoints::
+
+    GET  /healthz             liveness + admission/queue/job state
+    GET  /metrics             Prometheus text (repro.obs registry)
+    GET  /scenarios           the exec scenario registry, by name
+    POST /jobs                submit a TaskSpec (202, or 429/503)
+    GET  /jobs/<id>           poll one job
+    GET  /jobs/<id>/events    chunked NDJSON stream of job transitions
+
+Every response carries ``X-Allowed-Rate`` — the client's current grant
+in requests/s, the OSU-style explicit rate — and a 429 adds
+``Retry-After`` computed from that grant.  Clients are identified by the
+``X-Client`` header when present, else by peer address.
+
+On SIGTERM/SIGINT (or :meth:`ServeApp.request_shutdown`) the server
+drains: the listener closes, new submissions get 503 (existing
+keep-alive connections may still poll), queued and in-flight jobs run to
+completion, and an obs run manifest is written before :meth:`serve`
+returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+import traceback
+from dataclasses import asdict, dataclass
+from typing import Any, Callable
+
+from repro.core.params import PhantomParams
+from repro.exec.cache import ResultCache
+from repro.exec.fingerprint import default_index
+from repro.exec.registry import all_scenarios
+from repro.obs.manifest import build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.admission import PhantomAdmission
+from repro.serve.protocol import (HttpRequest, ProtocolError, chunk,
+                                  chunked_head, error_body, json_body,
+                                  parse_submission, render_response,
+                                  spec_from_submission)
+from repro.serve.queue import Job, JobQueue, JobStore
+from repro.serve.runner import PoolRunner
+
+#: Latency buckets sized for simulation jobs (seconds).
+LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                   10.0, 30.0, 60.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a server run is parameterised by."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = pick a free port
+    #: Executor bridge threads — the "link capacity" in workers.
+    slots: int = 2
+    #: Nominal service capacity in jobs/s the admission law measures
+    #: residuals against.  Set it near ``slots / typical_job_wall_s``.
+    capacity_rps: float = 8.0
+    #: Token-bucket depth per client (submissions of headroom).
+    burst: float = 2.0
+    #: False = unbounded-FIFO ablation: never reject, queue at will.
+    admission: bool = True
+    #: Δt of the admission controller's measurement interval (s).
+    interval_s: float = 0.25
+    #: Backstop bound on the job queue (503 past it).
+    queue_limit: int = 64
+    #: Per-job wall budget enforced by the runner (None = unbounded).
+    job_timeout_s: float | None = 60.0
+    #: Re-attempts per failing job (delegated to ``repro.exec.pool``).
+    retries: int = 1
+    #: Shared result-cache directory (None = no cache).
+    cache_dir: str | None = None
+    #: Where the drain manifest lands (None = no manifest).
+    manifest_path: str | None = "serve_manifest.json"
+
+    def __post_init__(self) -> None:
+        if self.slots < 1:
+            raise ValueError(f"slots must be >= 1, got {self.slots!r}")
+        if self.queue_limit < 1:
+            raise ValueError(
+                f"queue_limit must be >= 1, got {self.queue_limit!r}")
+
+
+class ServeApp:
+    """One server run: components, routing, and the drain lifecycle."""
+
+    def __init__(self, config: ServeConfig, *,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config
+        self.clock = clock
+        self.store = JobStore()
+        self.queue = JobQueue(config.queue_limit)
+        self.cache = (ResultCache(config.cache_dir)
+                      if config.cache_dir else None)
+        self.admission = PhantomAdmission(
+            config.capacity_rps,
+            PhantomParams(interval=config.interval_s,
+                          macr_init=config.capacity_rps),
+            burst=config.burst, enabled=config.admission)
+        self.metrics = MetricsRegistry()
+        self.runner = PoolRunner(
+            self.store, self.queue, slots=config.slots, cache=self.cache,
+            retries=config.retries, job_timeout=config.job_timeout_s,
+            index=default_index(), on_done=self._job_done, clock=clock)
+        self.draining = False
+        self.port: int | None = None
+        #: Set once the listener is bound — lets a test thread wait for
+        #: the port without polling.
+        self.ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task[None]] = set()
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self) -> None:
+        """Run until shutdown is requested, then drain and return."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self._started_at = self.clock()
+        self._install_signal_handlers()
+        self.runner.start()
+        server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self.ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            # stop accepting connections, then let every queued and
+            # in-flight job finish (open keep-alive connections keep
+            # polling while that happens)
+            server.close()
+            await server.wait_closed()
+            await self.runner.drain()
+            for writer in list(self._writers):
+                writer.close()
+            if self._conn_tasks:
+                # closed transports EOF the blocked readers; give the
+                # handlers a bounded moment to unwind
+                await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+            self._write_manifest()
+            self._remove_signal_handlers()
+
+    def request_shutdown(self) -> None:
+        """Begin the drain (idempotent; event-loop thread only)."""
+        self.draining = True
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def request_shutdown_threadsafe(self) -> None:
+        """Begin the drain from any thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_shutdown)
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum,
+                                              self.request_shutdown)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # not the main thread (tests) or no loop signal support;
+                # request_shutdown_threadsafe remains available
+                return
+
+    def _remove_signal_handlers(self) -> None:
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.remove_signal_handler(signum)
+            except (NotImplementedError, ValueError, RuntimeError):
+                return
+
+    def _write_manifest(self) -> None:
+        if self.config.manifest_path is None:
+            return
+        wall = (self.clock() - self._started_at
+                if self._started_at is not None else None)
+        manifest = build_manifest(
+            "repro serve", asdict(self.config),
+            metrics=self.metrics.summary(), wall_s=wall,
+            execution={"jobs": dict(self.store.counts()),
+                       "admission": self.admission.state()})
+        write_manifest(self.config.manifest_path, manifest)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await protocol.read_request(reader)
+                except ProtocolError as exc:
+                    writer.write(render_response(
+                        exc.status, error_body(exc.status, exc.message),
+                        close=True))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                close = request.wants_close
+                done = await self._dispatch(request, reader, writer,
+                                            close=close)
+                if done or close:
+                    return
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _client_id(self, request: HttpRequest,
+                   writer: asyncio.StreamWriter) -> str:
+        explicit = request.headers.get("x-client")
+        if explicit:
+            return explicit
+        peer = writer.get_extra_info("peername")
+        return peer[0] if peer else "unknown"
+
+    async def _dispatch(self, request: HttpRequest,
+                        reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter, *,
+                        close: bool) -> bool:
+        """Route one request; True when the connection is finished."""
+        start = self.clock()
+        client = self._client_id(request, writer)
+        method, path = request.method, request.path
+        try:
+            if path == "/jobs" and method == "POST":
+                status, body, headers = self._submit(request, client)
+            elif (path.startswith("/jobs/") and path.endswith("/events")
+                    and method == "GET"):
+                await self._stream_events(path, client, writer)
+                self._observe_request(method, "/jobs/<id>/events", 200,
+                                      start)
+                return True      # chunked stream ends the connection
+            elif path.startswith("/jobs/") and method == "GET":
+                status, body, headers = self._job_view(path, client)
+            elif path == "/healthz" and method == "GET":
+                status, body, headers = self._healthz(client)
+            elif path == "/metrics" and method == "GET":
+                status, body, headers = self._metrics_view(client)
+            elif path == "/scenarios" and method == "GET":
+                status, body, headers = self._scenarios_view(client)
+            elif path in ("/jobs", "/healthz", "/metrics", "/scenarios") \
+                    or path.startswith("/jobs/"):
+                raise ProtocolError(405, f"{method} not supported "
+                                         f"on {path}")
+            else:
+                raise ProtocolError(404, f"no route for {path}")
+        except ProtocolError as exc:
+            status, body = exc.status, error_body(exc.status, exc.message)
+            headers = self._rate_headers(client)
+        except (ConnectionResetError, BrokenPipeError):
+            raise                      # peer is gone; nothing to answer
+        except Exception:
+            traceback.print_exc()
+            status = 500
+            body = error_body(500, "internal error; see server log")
+            headers = self._rate_headers(client)
+        content_type = headers.pop("Content-Type", "application/json")
+        writer.write(render_response(status, body,
+                                     content_type=content_type,
+                                     headers=headers, close=close))
+        await writer.drain()
+        self._observe_request(method, self._route_label(path), status,
+                              start)
+        return False
+
+    def _route_label(self, path: str) -> str:
+        if path.startswith("/jobs/"):
+            return ("/jobs/<id>/events" if path.endswith("/events")
+                    else "/jobs/<id>")
+        return path
+
+    def _observe_request(self, method: str, route: str, status: int,
+                         start: float) -> None:
+        self.metrics.counter("repro_serve_requests_total", method=method,
+                             route=route, status=str(status)).inc()
+        self.metrics.histogram("repro_serve_request_seconds",
+                               buckets=LATENCY_BUCKETS,
+                               route=route).observe(self.clock() - start)
+
+    def _rate_headers(self, client: str) -> dict[str, str]:
+        rate = self.admission.allowed_rate(client, self.clock())
+        return {"X-Allowed-Rate": f"{rate:.4f}"}
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _submit(self, request: HttpRequest,
+                client: str) -> tuple[int, bytes, dict[str, str]]:
+        if self.draining:
+            return (503, error_body(503, "server is draining; "
+                                         "not accepting new jobs"),
+                    {**self._rate_headers(client), "Retry-After": "1"})
+        fields = parse_submission(request.json(), all_scenarios())
+        decision = self.admission.try_admit(client, self.clock())
+        headers = {"X-Allowed-Rate": f"{decision.allowed_rate_rps:.4f}"}
+        if not decision.admitted:
+            self.metrics.counter("repro_serve_rejected_total",
+                                 reason="rate").inc()
+            headers["Retry-After"] = f"{decision.retry_after_s:.3f}"
+            return (429,
+                    error_body(429, f"over the granted rate of "
+                                    f"{decision.allowed_rate_rps:.4f} "
+                                    f"requests/s"),
+                    headers)
+        if self.queue.depth >= self.queue.limit:
+            self.metrics.counter("repro_serve_rejected_total",
+                                 reason="queue_full").inc()
+            headers["Retry-After"] = "1"
+            return (503, error_body(503, "job queue is full"), headers)
+        job = self.store.create(
+            spec=spec_from_submission(
+                fields, default_task_id=f"serve-{len(self.store) + 1}"),
+            client=client, submitted_at=self.clock())
+        self.queue.put(job.id)
+        self.metrics.counter("repro_serve_admitted_total").inc()
+        headers["Location"] = f"/jobs/{job.id}"
+        return 202, json_body(job.snapshot()), headers
+
+    def _job_lookup(self, path: str) -> Job:
+        job_id = path.split("/")[2] if path.count("/") >= 2 else ""
+        job = self.store.get(job_id)
+        if job is None:
+            raise ProtocolError(404, f"no job {job_id!r}")
+        return job
+
+    def _job_view(self, path: str,
+                  client: str) -> tuple[int, bytes, dict[str, str]]:
+        job = self._job_lookup(path)
+        return 200, json_body(job.snapshot()), self._rate_headers(client)
+
+    async def _stream_events(self, path: str, client: str,
+                             writer: asyncio.StreamWriter) -> None:
+        """Chunked NDJSON: one snapshot now, one per transition, EOF on
+        a terminal state."""
+        job = self._job_lookup(path)
+        writer.write(chunked_head(headers=self._rate_headers(client)))
+        while True:
+            snapshot = job.snapshot()
+            writer.write(chunk(
+                (json.dumps(snapshot, sort_keys=True) + "\n")
+                .encode("utf-8")))
+            await writer.drain()
+            if job.done:
+                break
+            await self.store.wait_change(job, snapshot["version"])
+        writer.write(protocol.LAST_CHUNK)
+        await writer.drain()
+
+    def _healthz(self, client: str) -> tuple[int, bytes, dict[str, str]]:
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": (round(self.clock() - self._started_at, 3)
+                         if self._started_at is not None else None),
+            "jobs": self.store.counts(),
+            "queue_depth": self.queue.depth,
+            "active": self.runner.active,
+            "slots": self.config.slots,
+            "admission": self.admission.state(),
+            "cache": self.cache.stats() if self.cache else None,
+        }
+        return 200, json_body(payload), self._rate_headers(client)
+
+    def _metrics_view(self, client: str
+                      ) -> tuple[int, bytes, dict[str, str]]:
+        self._refresh_gauges()
+        text = self.metrics.prometheus_text()
+        return (200, text.encode("utf-8"),
+                {**self._rate_headers(client),
+                 "Content-Type": "text/plain; version=0.0.4"})
+
+    def _scenarios_view(self, client: str
+                        ) -> tuple[int, bytes, dict[str, str]]:
+        scenarios = [{"name": entry.name, "kind": entry.kind,
+                      "takes_seed": entry.takes_seed}
+                     for entry in all_scenarios().values()]
+        return (200, json_body({"scenarios": scenarios}),
+                self._rate_headers(client))
+
+    # ------------------------------------------------------------------
+    # metrics plumbing
+    # ------------------------------------------------------------------
+    def _refresh_gauges(self) -> None:
+        state = self.admission.state()
+        self.metrics.gauge("repro_serve_queue_depth").set(
+            self.queue.depth)
+        self.metrics.gauge("repro_serve_active_jobs").set(
+            self.runner.active)
+        self.metrics.gauge("repro_serve_draining").set(
+            1.0 if self.draining else 0.0)
+        self.metrics.gauge("repro_serve_macr_rps").set(state["macr_rps"])
+        self.metrics.gauge("repro_serve_grant_rps").set(
+            state["grant_rps"])
+        self.metrics.gauge("repro_serve_clients").set(state["clients"])
+        if self.cache is not None:
+            stats = self.cache.stats()
+            for name, value in stats.items():
+                self.metrics.gauge("repro_serve_cache",
+                                   event=name).set(value)
+
+    def _job_done(self, job: Job) -> None:
+        """Runner callback: fold one finished job into the metrics."""
+        self.metrics.counter("repro_serve_jobs_total",
+                             state=job.state,
+                             cached=str(job.cached).lower()).inc()
+        if job.finished_at is not None:
+            self.metrics.histogram(
+                "repro_serve_job_seconds", buckets=LATENCY_BUCKETS,
+                state=job.state).observe(
+                    job.finished_at - job.submitted_at)

@@ -1,6 +1,7 @@
 """ResultCache: round-trips, corruption handling, atomicity hygiene."""
 
 import json
+import threading
 
 from repro.exec import ResultCache
 from repro.exec.cache import CACHE_VERSION
@@ -67,3 +68,89 @@ def test_put_overwrites(tmp_path):
     cache.put(FP, PAYLOAD)
     cache.put(FP, {"status": "ok", "metrics": {}})
     assert cache.get(FP) == {"status": "ok", "metrics": {}}
+
+
+def test_truncated_entry_is_a_miss_and_rerun_repairs(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    path = tmp_path / FP[:2] / f"{FP}.json"
+    # a torn write: the file ends mid-JSON
+    path.write_text(path.read_text()[: len(path.read_text()) // 2])
+    assert cache.get(FP) is None
+    # the re-run's put overwrites the torn entry cleanly
+    cache.put(FP, PAYLOAD)
+    assert cache.get(FP) == PAYLOAD
+
+
+def test_empty_entry_file_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    (tmp_path / FP[:2] / f"{FP}.json").write_text("")
+    assert cache.get(FP) is None
+
+
+def test_concurrent_writers_same_key_leave_one_valid_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    barrier = threading.Barrier(8)
+    errors = []
+
+    def writer(i: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(25):
+                cache.put(FP, dict(PAYLOAD, writer=i))
+                got = cache.get(FP)
+                # always *some* writer's complete entry, never a blend
+                assert got is not None and got["writer"] in range(8)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert errors == []
+    final = cache.get(FP)
+    assert final is not None and final["writer"] in range(8)
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_concurrent_stats_do_not_lose_counts(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, PAYLOAD)
+    per_thread, threads_n = 50, 8
+
+    def reader() -> None:
+        for _ in range(per_thread):
+            cache.get(FP)
+
+    threads = [threading.Thread(target=reader) for _ in range(threads_n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    stats = cache.stats()
+    assert stats["hits"] == per_thread * threads_n
+    assert stats["misses"] == 0
+
+
+def test_tmp_names_are_thread_unique(tmp_path, monkeypatch):
+    """Two threads writing the same key must not share a temp file."""
+    import repro.exec.cache as cache_mod
+
+    cache = ResultCache(tmp_path)
+    seen: list[str] = []
+    real_replace = cache_mod.os.replace
+
+    def spying_replace(src, dst):
+        seen.append(str(src))
+        real_replace(src, dst)
+
+    monkeypatch.setattr(cache_mod.os, "replace", spying_replace)
+    cache.put(FP, PAYLOAD)
+    t = threading.Thread(target=cache.put, args=(FP, PAYLOAD))
+    t.start()
+    t.join(timeout=30)
+    assert len(seen) == 2 and seen[0] != seen[1]

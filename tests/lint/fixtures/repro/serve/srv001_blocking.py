@@ -1,0 +1,55 @@
+"""SRV001 fixture: blocking calls inside coroutines in repro.serve.
+
+Flagged lines are tagged; the sync twins, the executor-bridge pattern,
+and the pragma'd twin must stay silent.
+"""
+
+import asyncio
+import subprocess
+import time
+
+from repro.exec.pool import run_tasks
+
+
+def sync_helper(specs):
+    # sync scope: blocking is this function's business
+    time.sleep(0.01)
+    subprocess.run(["true"], check=False)
+    return run_tasks(specs, jobs=1)
+
+
+async def bad_sleep():
+    time.sleep(0.5)  # violation
+    await asyncio.sleep(0)
+
+
+async def bad_subprocess():
+    subprocess.run(["true"], check=False)  # violation
+    subprocess.check_output(["true"])  # violation
+
+
+async def bad_direct_run(specs):
+    return run_tasks(specs, jobs=1)  # violation
+
+
+async def good_bridge(specs):
+    loop = asyncio.get_running_loop()
+    # passed by reference — the executor thread does the blocking
+    return await loop.run_in_executor(None, sync_helper, specs)
+
+
+async def good_async_sleep():
+    await asyncio.sleep(0.5)
+
+
+async def suppressed():
+    time.sleep(0.0)  # lint: disable=SRV001
+
+
+async def outer(specs):
+    def shipped_to_executor():
+        # nested *sync* function: its body is not coroutine code
+        return run_tasks(specs, jobs=1)
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, shipped_to_executor)

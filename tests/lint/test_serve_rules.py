@@ -1,0 +1,47 @@
+"""SRV001 — blocking calls inside coroutines in repro.serve."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_srv001_fixture():
+    assert_rule_matches_fixture("SRV001", "srv001_blocking.py",
+                                package="serve")
+
+
+def test_srv001_only_applies_to_serve():
+    source = (
+        "import time\n"
+        "async def f():\n"
+        "    time.sleep(1)\n")
+    in_serve = [f for f in lint_snippet(
+        source, "src/repro/serve/x.py") if f.rule_id == "SRV001"]
+    elsewhere = [f for f in lint_snippet(
+        source, "src/repro/exec/x.py") if f.rule_id == "SRV001"]
+    assert len(in_serve) == 1
+    assert elsewhere == []
+
+
+def test_srv001_message_names_the_bridge():
+    source = (
+        "from repro.exec.pool import run_tasks\n"
+        "async def f(specs):\n"
+        "    return run_tasks(specs)\n")
+    findings = [f for f in lint_snippet(
+        source, "src/repro/serve/x.py") if f.rule_id == "SRV001"]
+    assert len(findings) == 1
+    assert "run_in_executor" in findings[0].message
+
+
+def test_srv001_ignores_references_and_sync_scopes():
+    source = (
+        "import asyncio, time\n"
+        "from repro.exec.pool import run_tasks\n"
+        "def sync(specs):\n"
+        "    time.sleep(0.1)\n"
+        "    return run_tasks(specs)\n"
+        "async def f(specs):\n"
+        "    loop = asyncio.get_running_loop()\n"
+        "    return await loop.run_in_executor(None, run_tasks, specs)\n")
+    findings = [f for f in lint_snippet(
+        source, "src/repro/serve/x.py") if f.rule_id == "SRV001"]
+    assert findings == []

@@ -127,6 +127,41 @@ def test_default_buckets_are_sorted():
 
 
 # ----------------------------------------------------------------------
+# histogram edge cases the serve latency tracking relies on
+# ----------------------------------------------------------------------
+
+def test_empty_histogram_exports_zero_rows():
+    r = MetricsRegistry()
+    r.histogram("repro_latency_seconds", buckets=(0.1, 1.0), route="/x")
+    lines = r.prometheus_text().splitlines()
+    assert 'repro_latency_seconds_bucket{route="/x",le="0.1"} 0' in lines
+    assert 'repro_latency_seconds_bucket{route="/x",le="+Inf"} 0' in lines
+    assert 'repro_latency_seconds_sum{route="/x"} 0' in lines
+    assert 'repro_latency_seconds_count{route="/x"} 0' in lines
+
+
+def test_inf_bucket_counts_overflow_observations():
+    h = Histogram(buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 100.0, 1e9, float("inf")):
+        h.observe(v)
+    # +Inf row is the total count: overflow observations (and literal
+    # inf) land there and nowhere else
+    assert h.cumulative() == [1, 2, 5]
+    assert h.count == 5
+    assert h.counts[-1] == 3
+
+
+def test_prometheus_label_values_are_escaped():
+    r = MetricsRegistry()
+    r.counter("repro_odd_total", port='he said "hi"\\\n').inc()
+    line = [l for l in r.prometheus_text().splitlines()
+            if l.startswith("repro_odd_total")][0]
+    assert line == ('repro_odd_total{port="he said \\"hi\\"\\\\\\n"} 1')
+    # still a single physical line — the newline is escaped, not emitted
+    assert "\n" not in line
+
+
+# ----------------------------------------------------------------------
 # registration from run handles
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""Boot helpers: a real ServeApp on a background thread, port 0.
+
+The app runs its own event loop in a daemon thread (signal handlers are
+skipped off the main thread; shutdown goes through
+``request_shutdown_threadsafe``), tests talk to it over real sockets
+with :class:`ServeClient`, and every server is drained at teardown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeApp, ServeConfig
+
+
+class RunningServer:
+    """One booted gateway plus its loop thread."""
+
+    def __init__(self, app: ServeApp, thread: threading.Thread):
+        self.app = app
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        assert self.app.port is not None
+        return self.app.port
+
+    def client(self, client_id: str = "test") -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, client_id=client_id,
+                           timeout_s=60.0)
+
+    def stop(self, timeout_s: float = 60.0) -> None:
+        self.app.request_shutdown_threadsafe()
+        self.thread.join(timeout_s)
+        assert not self.thread.is_alive(), "server failed to drain"
+
+
+@pytest.fixture
+def serve_app(tmp_path):
+    """Factory fixture: ``boot(**config_overrides) -> RunningServer``.
+
+    Defaults are sized so admission never rejects functional tests
+    (generous capacity and burst); overload tests override them.
+    """
+    running: list[RunningServer] = []
+
+    def boot(**overrides) -> RunningServer:
+        defaults = dict(
+            port=0, slots=2, capacity_rps=100.0, burst=50.0,
+            interval_s=0.1, queue_limit=64, job_timeout_s=60.0,
+            cache_dir=str(tmp_path / "cache"),
+            manifest_path=str(tmp_path / "serve_manifest.json"))
+        defaults.update(overrides)
+        app = ServeApp(ServeConfig(**defaults))
+        thread = threading.Thread(
+            target=lambda: asyncio.run(app.serve()), daemon=True)
+        thread.start()
+        assert app.ready.wait(30), "server did not come up"
+        server = RunningServer(app, thread)
+        running.append(server)
+        return server
+
+    yield boot
+    for server in running:
+        if server.thread.is_alive():
+            server.stop()

@@ -1,0 +1,97 @@
+"""Graceful drain: SIGTERM/shutdown finishes in-flight work, rejects new.
+
+Two layers: an in-process test against :class:`ServeApp` (fast, precise
+assertions on the store and manifest) and a subprocess acceptance test
+that sends a real SIGTERM to ``python -m repro serve``.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+
+# atm.staggered at duration=0.6 runs ~2 s of wall time: long enough to
+# be reliably in flight when the drain starts, short enough for CI.
+LONG = {"scenario": "atm.staggered", "params": {"duration": 0.6}}
+
+
+def test_drain_completes_in_flight_and_rejects_new(serve_app, tmp_path):
+    manifest = tmp_path / "serve_manifest.json"
+    server = serve_app(slots=1, manifest_path=str(manifest))
+    client = server.client()
+    accepted = client.submit(**LONG)
+
+    # wait until the job is actually running, then start the drain
+    deadline = time.monotonic() + 30
+    while client.job(accepted["id"])["state"] == "queued":
+        assert time.monotonic() < deadline, "job never started"
+        time.sleep(0.01)
+    server.app.request_shutdown_threadsafe()
+
+    # the existing keep-alive connection is served during the drain,
+    # but new submissions are refused with 503 + Retry-After
+    with pytest.raises(ServeError) as err:
+        client.submit(**LONG)
+    assert err.value.status == 503
+    health = client.healthz()
+    assert health["status"] == "draining"
+
+    server.stop(timeout_s=60)
+
+    # the in-flight job was finished, not killed
+    job = server.app.store.get(accepted["id"])
+    assert job is not None
+    assert job.state == "ok"
+    assert server.app.store.counts().get("ok", 0) == 1
+
+    # the obs manifest was flushed on the way out
+    data = json.loads(manifest.read_text())
+    assert data["command"] == "repro serve"
+    assert data["execution"]["jobs"].get("ok") == 1
+    assert data["execution"]["admission"]["enabled"] is True
+
+
+def test_sigterm_drains_a_real_server_process(tmp_path):
+    """Acceptance: boot ``repro serve``, SIGTERM mid-job, exit 0."""
+    manifest = tmp_path / "manifest.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--slots", "1", "--cache", str(tmp_path / "cache"),
+         "--manifest", str(manifest)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        line = proc.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listening line: {line!r}"
+        host, port = match.group(1), int(match.group(2))
+
+        client = ServeClient(host, port, client_id="drain-test")
+        accepted = client.submit(**LONG)
+        deadline = time.monotonic() + 30
+        while client.job(accepted["id"])["state"] == "queued":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.01)
+        client.close()
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        assert code == 0
+
+        data = json.loads(manifest.read_text())
+        assert data["command"] == "repro serve"
+        assert data["execution"]["jobs"].get("ok") == 1
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

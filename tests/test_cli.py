@@ -22,6 +22,32 @@ def test_list(capsys):
     assert "staggered" in out
 
 
+def test_list_includes_exec_scenario_registry(capsys):
+    """`repro list` is the one discoverable source of the registry names
+    used by `repro suite/sweep` and the serve API's POST /jobs."""
+    from repro.exec.registry import all_scenarios
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "exec scenarios:" in out
+    for name in all_scenarios():
+        assert name in out
+
+
+def test_serve_subcommand_is_wired():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--port", "0",
+                                      "--no-admission"])
+    assert args.fn.__name__ == "_cmd_serve"
+    assert args.port == 0 and args.no_admission
+
+    from repro.serve.cli import config_from_args
+
+    config = config_from_args(args)
+    assert config.port == 0 and not config.admission
+
+
 def test_atm_staggered_phantom(capsys):
     assert main(["atm", "--scenario", "staggered",
                  "--algorithm", "phantom", "--duration", "0.15"]) == 0
