@@ -116,9 +116,11 @@ class PhantomAdmission:
         whole = int(elapsed / interval)
         if whole > MAX_CATCHUP_INTERVALS:
             # long idle gap: fold a bounded number of all-idle intervals
-            # (the filter saturates well before the cap) and resync
+            # (the filter saturates well before the cap) and resync so
+            # the trailing += below lands the interval start exactly at
+            # ``now`` — never in the future
             whole = MAX_CATCHUP_INTERVALS
-            self._interval_start = now - interval
+            self._interval_start = now - whole * interval
         # the first completed interval carries the admissions counted in
         # it; any further completed intervals were fully idle
         residual = (self.capacity_rps

@@ -140,19 +140,40 @@ class ServeClient:
     def job(self, job_id: str) -> dict[str, Any]:
         return self._json("GET", f"/jobs/{job_id}")
 
-    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+    def events(self, job_id: str, *,
+               deadline_s: float | None = None) -> Iterator[dict[str, Any]]:
         """Stream snapshots until the job reaches a terminal state.
 
         ``http.client`` decodes the chunked framing; each NDJSON line is
-        one job snapshot.
+        one job snapshot.  With ``deadline_s`` the remaining budget is
+        applied to the socket before every read, so a stalled stream
+        raises :class:`TimeoutError` at the deadline instead of blocking
+        until the transport ``timeout_s``.
         """
+        start = self.clock()
         response = self._request("GET", f"/jobs/{job_id}/events")
         if response.status >= 400:
             raise ServeError(response.status,
                              _error_message(response.read()))
         try:
             while True:
-                line = response.readline()
+                if deadline_s is not None:
+                    remaining = deadline_s - (self.clock() - start)
+                    sock = (self._conn.sock
+                            if self._conn is not None else None)
+                    if remaining <= 0 or sock is None:
+                        raise TimeoutError(
+                            f"job {job_id} not terminal within "
+                            f"{deadline_s:g}s")
+                    sock.settimeout(min(self.timeout_s, remaining))
+                try:
+                    line = response.readline()
+                except TimeoutError as exc:       # socket.timeout
+                    if deadline_s is None:
+                        raise
+                    raise TimeoutError(
+                        f"job {job_id} not terminal within "
+                        f"{deadline_s:g}s") from exc
                 if not line:
                     return
                 yield json.loads(line.decode("utf-8"))
@@ -162,18 +183,16 @@ class ServeClient:
 
     def wait(self, job_id: str,
              deadline_s: float | None = None) -> dict[str, Any]:
-        """Block until the job is terminal; returns the final snapshot."""
-        start = self.clock()
+        """Block until the job is terminal; returns the final snapshot.
+
+        ``deadline_s`` bounds the whole wait — including time spent
+        blocked on a stalled stream — via the socket timeout.
+        """
         last: dict[str, Any] | None = None
-        for snapshot in self.events(job_id):
+        for snapshot in self.events(job_id, deadline_s=deadline_s):
             last = snapshot
             if snapshot["state"] in ("ok", "error", "timeout"):
                 return snapshot
-            if (deadline_s is not None
-                    and self.clock() - start > deadline_s):
-                raise TimeoutError(
-                    f"job {job_id} still {snapshot['state']!r} after "
-                    f"{deadline_s:g}s")
         if last is None:
             raise ServeError(500, f"event stream for {job_id} was empty")
         return last

@@ -82,7 +82,12 @@ class HttpRequest:
 
 
 async def _read_line(reader: asyncio.StreamReader) -> bytes:
-    line = await reader.readline()
+    try:
+        line = await reader.readline()
+    except ValueError as exc:
+        # the StreamReader's own limit (64 KiB by default) trips before
+        # our check can; surface it as the same 431
+        raise ProtocolError(431, "header line too long") from exc
     if len(line) > MAX_LINE_BYTES:
         raise ProtocolError(431, "header line too long")
     return line

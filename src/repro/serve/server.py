@@ -59,6 +59,11 @@ LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
                    10.0, 30.0, 60.0)
 
 
+class _StreamAborted(Exception):
+    """A failure after the chunked head went out: the connection's HTTP
+    framing is unrecoverable, so the only sound answer is to close it."""
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Everything a server run is parameterised by."""
@@ -261,7 +266,14 @@ class ServeApp:
                 status, body, headers = self._submit(request, client)
             elif (path.startswith("/jobs/") and path.endswith("/events")
                     and method == "GET"):
-                await self._stream_events(path, client, writer)
+                try:
+                    await self._stream_events(path, client, writer)
+                except _StreamAborted:
+                    # a framed 500 would land mid-chunked-stream and
+                    # corrupt the connection; just end it
+                    self._observe_request(method, "/jobs/<id>/events",
+                                          500, start)
+                    return True
                 self._observe_request(method, "/jobs/<id>/events", 200,
                                       start)
                 return True      # chunked stream ends the connection
@@ -326,6 +338,14 @@ class ServeApp:
                                          "not accepting new jobs"),
                     {**self._rate_headers(client), "Retry-After": "1"})
         fields = parse_submission(request.json(), all_scenarios())
+        # reject on a full queue *before* charging the client's admission
+        # token, so a 503 neither spends the token nor inflates the
+        # measured admitted rate with load that was never enqueued
+        if self.queue.depth >= self.queue.limit:
+            self.metrics.counter("repro_serve_rejected_total",
+                                 reason="queue_full").inc()
+            return (503, error_body(503, "job queue is full"),
+                    {**self._rate_headers(client), "Retry-After": "1"})
         decision = self.admission.try_admit(client, self.clock())
         headers = {"X-Allowed-Rate": f"{decision.allowed_rate_rps:.4f}"}
         if not decision.admitted:
@@ -337,11 +357,6 @@ class ServeApp:
                                     f"{decision.allowed_rate_rps:.4f} "
                                     f"requests/s"),
                     headers)
-        if self.queue.depth >= self.queue.limit:
-            self.metrics.counter("repro_serve_rejected_total",
-                                 reason="queue_full").inc()
-            headers["Retry-After"] = "1"
-            return (503, error_body(503, "job queue is full"), headers)
         job = self.store.create(
             spec=spec_from_submission(
                 fields, default_task_id=f"serve-{len(self.store) + 1}"),
@@ -367,19 +382,25 @@ class ServeApp:
                              writer: asyncio.StreamWriter) -> None:
         """Chunked NDJSON: one snapshot now, one per transition, EOF on
         a terminal state."""
-        job = self._job_lookup(path)
+        job = self._job_lookup(path)     # 404s precede the head
         writer.write(chunked_head(headers=self._rate_headers(client)))
-        while True:
-            snapshot = job.snapshot()
-            writer.write(chunk(
-                (json.dumps(snapshot, sort_keys=True) + "\n")
-                .encode("utf-8")))
+        try:
+            while True:
+                snapshot = job.snapshot()
+                writer.write(chunk(
+                    (json.dumps(snapshot, sort_keys=True) + "\n")
+                    .encode("utf-8")))
+                await writer.drain()
+                if job.done:
+                    break
+                await self.store.wait_change(job, snapshot["version"])
+            writer.write(protocol.LAST_CHUNK)
             await writer.drain()
-            if job.done:
-                break
-            await self.store.wait_change(job, snapshot["version"])
-        writer.write(protocol.LAST_CHUNK)
-        await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            raise
+        except Exception as exc:
+            traceback.print_exc()
+            raise _StreamAborted() from exc
 
     def _healthz(self, client: str) -> tuple[int, bytes, dict[str, str]]:
         payload = {

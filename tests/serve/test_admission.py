@@ -130,6 +130,32 @@ def test_idle_gap_recovers_the_grant():
     assert adm.grant_rps == CAP
 
 
+def test_sustained_load_after_idle_gap_keeps_the_grant():
+    """Submitting *through* several intervals after a gap stays healthy.
+
+    Regression: the catch-up resync used to leave the interval start in
+    the future, so post-gap admissions accumulated for ~catchup-cap
+    intervals and then folded as one hugely negative residual, crashing
+    MACR to the floor despite moderate load.
+    """
+    adm = make()
+    adm.try_admit("a", 0.0)
+    gap_end = 1000 * PARAMS.interval          # far past the catch-up cap
+    # after the gap the interval clock is resynced to "now"
+    adm.tick(gap_end)
+    assert adm._interval_start == pytest.approx(gap_end)
+    # offer half of capacity for many intervals: every request must be
+    # admitted and the grant must never collapse toward the floor
+    decisions = offer(adm, "a", rate=CAP / 2,
+                      start=gap_end, duration=200 * PARAMS.interval)
+    assert all(d.admitted for d in decisions)
+    floor = PARAMS.grant_floor_fraction * CAP
+    assert adm.grant_rps > 2 * floor
+    # interval bookkeeping never runs ahead of the clock
+    last_now = gap_end + 200 * PARAMS.interval
+    assert adm._interval_start <= last_now + PARAMS.interval
+
+
 def test_idle_clients_are_pruned():
     adm = make()
     adm.try_admit("a", 0.0)

@@ -75,6 +75,22 @@ def test_oversized_body_is_413():
     assert err.value.status == 413
 
 
+def test_long_header_line_is_431():
+    raw = (b"GET / HTTP/1.1\r\nX-Pad: " + b"x" * 10_000 + b"\r\n\r\n")
+    with pytest.raises(ProtocolError) as err:
+        parse(raw)
+    assert err.value.status == 431
+
+
+def test_header_line_over_stream_limit_is_431():
+    # past the StreamReader's own 64 KiB limit readline raises
+    # ValueError instead of returning the line; still must map to 431
+    raw = (b"GET / HTTP/1.1\r\nX-Pad: " + b"x" * (1 << 17) + b"\r\n\r\n")
+    with pytest.raises(ProtocolError) as err:
+        parse(raw)
+    assert err.value.status == 431
+
+
 def test_connection_close_is_honoured():
     req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
     assert req.wants_close
