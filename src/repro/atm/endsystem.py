@@ -109,7 +109,7 @@ class AbrSource(CellSink):
         self.started = True
         # fire-and-forget: a started source is never unstarted, so the
         # begin event needs no handle (pausing goes through set_active)
-        self.sim.schedule_at(  # lint: disable=SIM002
+        self.sim.schedule_at(
             max(self.start_time, self.sim.now), self._begin)
 
     def _begin(self) -> None:

@@ -214,18 +214,18 @@ class OutputPort(CellSink):
         # dominant cost, hence no helper call.
         now = self.sim.now
         vals = self._q_vals
-        if not vals or vals[-1] != qlen:  # lint: disable=FLT001
+        if not vals or vals[-1] != qlen:
             times = self._q_times
-            if times and times[-1] == now:  # lint: disable=FLT001
+            if times and times[-1] == now:
                 vals[-1] = qlen
             else:
                 times.append(now)
                 vals.append(qlen)
         value = self._abr_qlen
         vals = self._a_vals
-        if not vals or vals[-1] != value:  # lint: disable=FLT001
+        if not vals or vals[-1] != value:
             times = self._a_times
-            if times and times[-1] == now:  # lint: disable=FLT001
+            if times and times[-1] == now:
                 vals[-1] = value
             else:
                 times.append(now)
@@ -261,18 +261,18 @@ class OutputPort(CellSink):
             # StepProbe.record hand-inlined (see receive)
             now = sim.now
             vals = self._q_vals
-            if not vals or vals[-1] != qlen:  # lint: disable=FLT001
+            if not vals or vals[-1] != qlen:
                 times = self._q_times
-                if times and times[-1] == now:  # lint: disable=FLT001
+                if times and times[-1] == now:
                     vals[-1] = qlen
                 else:
                     times.append(now)
                     vals.append(qlen)
             value = self._abr_qlen
             vals = self._a_vals
-            if not vals or vals[-1] != value:  # lint: disable=FLT001
+            if not vals or vals[-1] != value:
                 times = self._a_times
-                if times and times[-1] == now:  # lint: disable=FLT001
+                if times and times[-1] == now:
                     vals[-1] = value
                 else:
                     times.append(now)

@@ -203,8 +203,7 @@ def _cmd_maxmin(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    return lint_cli.run(args.paths, fmt=args.fmt, select=args.select,
-                        ignore=args.ignore, list_rules=args.list_rules)
+    return lint_cli.run_from_args(args)
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:

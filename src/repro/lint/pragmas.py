@@ -31,11 +31,20 @@ ALL = "all"
 
 
 class Suppressions:
-    """Parsed suppression pragmas for one source file."""
+    """Parsed suppression pragmas for one source file.
+
+    Besides answering :meth:`is_suppressed`, the object records which
+    pragmas actually fired (``used_line_ids`` / ``used_file_ids``) so a
+    caller that ran *every* rule can report the dead ones — a pragma
+    that suppresses nothing is a stale exception that hides nothing and
+    misleads reviewers (see ``repro lint --report-unused-pragmas``).
+    """
 
     def __init__(self, source: str):
         self.line_ids: dict[int, set[str]] = {}
         self.file_ids: set[str] = set()
+        self.used_line_ids: dict[int, set[str]] = {}
+        self.used_file_ids: set[str] = set()
         self._scan(source)
 
     def _scan(self, source: str) -> None:
@@ -60,7 +69,32 @@ class Suppressions:
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         rid = rule_id.lower()
-        if rid in self.file_ids or ALL in self.file_ids:
+        if rid in self.file_ids:
+            self.used_file_ids.add(rid)
+            return True
+        if ALL in self.file_ids:
+            self.used_file_ids.add(ALL)
             return True
         ids = self.line_ids.get(line, ())
-        return rid in ids or ALL in ids
+        if rid in ids:
+            self.used_line_ids.setdefault(line, set()).add(rid)
+            return True
+        if ALL in ids:
+            self.used_line_ids.setdefault(line, set()).add(ALL)
+            return True
+        return False
+
+    def unused(self) -> list[tuple[int, str]]:
+        """``(line, id)`` pairs for pragmas that suppressed nothing.
+
+        Line 0 stands for file-scoped pragmas.  Only meaningful after a
+        run of the *full* rule set — with ``--select``/``--ignore`` a
+        pragma may look dead simply because its rule never executed.
+        """
+        dead: list[tuple[int, str]] = []
+        for rid in sorted(self.file_ids - self.used_file_ids):
+            dead.append((0, rid))
+        for line, ids in sorted(self.line_ids.items()):
+            used = self.used_line_ids.get(line, set())
+            dead.extend((line, rid) for rid in sorted(ids - used))
+        return dead

@@ -1,0 +1,45 @@
+"""Whole-program analysis tier (`repro lint --project`).
+
+The syntactic rules in :mod:`repro.lint.rules` see one file at a time;
+everything in this package sees the *project*: a symbol table and call
+graph built over the whole ``repro`` package (reusing the AST
+import-closure walker from :mod:`repro.exec.fingerprint`), plus three
+interprocedural pass families on top of it:
+
+* **CONC00x** — concurrency-domain race detection: every function is
+  classified into the domains it can run in (sim engine, asyncio
+  coroutine, thread-pool worker, fork worker) and shared mutable state
+  crossing domains without a queue/lock handoff is flagged;
+* **DTT00x** — determinism taint: unseeded randomness and wall-clock
+  reads are traced *through* calls, so a leak two modules away from sim
+  state is caught where the local DET rules cannot see it;
+* **UNI00x** — unit/dimension inference: the ``_s``/``_mbps``/…
+  suffix conventions are propagated through assignments, returns, and
+  call sites, catching cross-function unit mismatches the syntactic
+  UNT rules (single expression) cannot.
+
+Accepted pre-existing findings live in a committed, per-finding
+annotated baseline (``lint-baseline.json``); results are cached per
+module, keyed on the same source digests the executor's result cache
+uses.  See docs/LINTING.md.
+"""
+
+from repro.lint.project.baseline import (Baseline, BaselineEntry,
+                                         load_baseline, write_baseline)
+from repro.lint.project.graph import ProjectGraph
+from repro.lint.project.passes import all_passes, get_pass
+from repro.lint.project.runner import (ProjectReport, analyze_project,
+                                       changed_modules)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "ProjectGraph",
+    "ProjectReport",
+    "all_passes",
+    "analyze_project",
+    "changed_modules",
+    "get_pass",
+    "load_baseline",
+    "write_baseline",
+]

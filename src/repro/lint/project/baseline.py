@@ -1,0 +1,145 @@
+"""Accepted-findings baseline for the project-analysis tier.
+
+Whole-program passes occasionally flag something the team has reviewed
+and decided to keep (e.g. a fork-capable path that is provably pinned
+to ``jobs=1``).  Such findings live in a committed baseline file —
+``lint-baseline.json`` at the repository root — instead of an inline
+pragma, because the finding belongs to a *relationship between files*
+rather than one source line.
+
+Every entry must carry a non-empty ``justification``; loading a file
+with a silent entry is an error.  Entries match findings on
+``(rule, path, symbol)`` — the symbol is the qualified function/state
+name the pass anchored at, so unrelated line drift never churns the
+baseline.  Entries for findings without a symbol pin ``line`` instead.
+
+Entries that match nothing in the current run are *stale* and reported
+(the clean-tree gate fails on them) so the baseline can only shrink
+toward zero, never quietly rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    justification: str
+    symbol: str = ""
+    line: int | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule_id != self.rule:
+            return False
+        if _norm(finding.path) != _norm(self.path):
+            return False
+        if self.symbol:
+            return finding.symbol == self.symbol
+        return self.line is not None and finding.line == self.line
+
+    def to_dict(self) -> dict:
+        out = {"rule": self.rule, "path": self.path}
+        if self.symbol:
+            out["symbol"] = self.symbol
+        if self.line is not None:
+            out["line"] = self.line
+        out["justification"] = self.justification
+        return out
+
+    def render(self) -> str:
+        anchor = self.symbol or f"line {self.line}"
+        return f"{self.path}: {self.rule} @ {anchor}"
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/").lstrip("./")
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline plus match bookkeeping for one run."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    _used: set[int] = field(default_factory=set)
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline; marks entries used."""
+        kept: list[Finding] = []
+        for finding in findings:
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    self._used.add(i)
+                    break
+            else:
+                kept.append(finding)
+        return kept
+
+    def unused(self) -> list[BaselineEntry]:
+        """Entries that matched nothing — stale accepted findings."""
+        return [e for i, e in enumerate(self.entries)
+                if i not in self._used]
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file, validating every justification."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r}")
+    entries: list[BaselineEntry] = []
+    for i, raw in enumerate(data.get("entries", [])):
+        justification = str(raw.get("justification", "")).strip()
+        if not justification:
+            raise ValueError(
+                f"{path}: entry {i} ({raw.get('rule')}, "
+                f"{raw.get('path')}) has no justification — every "
+                "baselined finding must say why it is accepted")
+        entries.append(BaselineEntry(
+            rule=str(raw["rule"]), path=str(raw["path"]),
+            justification=justification,
+            symbol=str(raw.get("symbol", "")),
+            line=raw.get("line")))
+    return Baseline(entries=entries)
+
+
+def write_baseline(path: str, findings: list[Finding],
+                   justifications: dict[tuple[str, str, str], str]
+                   | None = None) -> int:
+    """Write ``findings`` as a baseline; returns the entry count.
+
+    ``justifications`` maps ``(rule, path, symbol)`` to the accepted
+    reason; findings without one get an explicit TODO placeholder so a
+    subsequent :func:`load_baseline` still passes validation while the
+    file visibly demands review.
+    """
+    justifications = justifications or {}
+    entries = []
+    for finding in sorted(set(findings)):
+        key = (finding.rule_id, _norm(finding.path), finding.symbol)
+        entry = BaselineEntry(
+            rule=finding.rule_id, path=_norm(finding.path),
+            justification=justifications.get(
+                key, "TODO: justify this accepted finding or fix it"),
+            symbol=finding.symbol,
+            line=None if finding.symbol else finding.line)
+        entries.append(entry.to_dict())
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(entries)

@@ -1,0 +1,99 @@
+"""Incremental result cache for the project-analysis tier.
+
+The syntactic tier is trivially incremental (one file in, findings
+out).  Whole-program passes are not: a function's concurrency domain or
+a global's accessor set depends on *every* module, so reusing stale
+per-module findings after any edit would be unsound.  The honest
+version of incrementality is therefore:
+
+* the cache key is a **program digest** — SHA-256 over every module's
+  content digest (from the same :class:`~repro.exec.fingerprint.
+  SourceIndex` the executor fingerprints with) plus
+  :data:`ANALYZER_VERSION`;
+* a warm run with an unchanged program digest skips parsing, graph
+  construction, and every pass, and replays the stored findings;
+* any edit anywhere produces a new digest and a full re-analysis.
+
+Findings are stored grouped per module so the cache file doubles as a
+reviewable artifact, but validity is all-or-nothing by design.  Bump
+:data:`ANALYZER_VERSION` whenever a pass's findings or the stored
+layout change meaning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.exec.fingerprint import SourceIndex
+from repro.lint.findings import Finding, Severity
+
+#: Participates in the cache key: bump on any change to the graph
+#: builder, a pass, or the stored finding layout.
+ANALYZER_VERSION = "1"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = os.path.join(".lint-cache", "project")
+
+
+def program_digest(index: SourceIndex) -> str:
+    """One digest covering every module plus the analyzer version."""
+    h = hashlib.sha256()
+    h.update(f"analyzer:{ANALYZER_VERSION}\n".encode())
+    for modname in index.all_modules():
+        h.update(f"{modname}:{index.digest(modname)}\n".encode())
+    return h.hexdigest()
+
+
+def _cache_path(cache_dir: str, digest: str) -> str:
+    return os.path.join(cache_dir, f"{digest}.json")
+
+
+def load_cached(cache_dir: str, digest: str) -> list[Finding] | None:
+    """Stored findings for ``digest``, or None on miss/corruption."""
+    path = _cache_path(cache_dir, digest)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if data.get("analyzer") != ANALYZER_VERSION \
+            or data.get("program_digest") != digest:
+        return None
+    try:
+        findings = [_finding_from_dict(raw)
+                    for group in data.get("modules", {}).values()
+                    for raw in group]
+    except (KeyError, ValueError, TypeError):
+        return None
+    return sorted(findings)
+
+
+def store(cache_dir: str, digest: str,
+          findings: list[Finding]) -> str:
+    """Persist ``findings`` under ``digest``; returns the file path."""
+    os.makedirs(cache_dir, exist_ok=True)
+    modules: dict[str, list[dict]] = {}
+    for finding in sorted(findings):
+        modules.setdefault(finding.path, []).append(finding.to_dict())
+    payload = {
+        "analyzer": ANALYZER_VERSION,
+        "program_digest": digest,
+        "modules": modules,
+    }
+    path = _cache_path(cache_dir, digest)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def _finding_from_dict(raw: dict) -> Finding:
+    return Finding(
+        path=raw["path"], line=int(raw["line"]), col=int(raw["col"]),
+        rule_id=raw["rule"], severity=Severity(raw["severity"]),
+        message=raw["message"], end_line=raw.get("end_line"),
+        symbol=raw.get("symbol", ""))

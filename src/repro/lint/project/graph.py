@@ -1,0 +1,730 @@
+"""Project-wide symbol table and call graph.
+
+:class:`ProjectGraph` parses every module of one package tree (the set
+comes from :meth:`repro.exec.fingerprint.SourceIndex.all_modules` — the
+same walker the executor's result cache fingerprints with) and derives
+the facts the interprocedural passes share:
+
+* per-module **alias maps** (``import``/``from`` resolved through the
+  index, so relative imports agree with the fingerprint walker);
+* a **symbol table** of qualified names — functions, methods, classes,
+  and module-level state;
+* per-function **call sites**, resolved best-effort to project symbols
+  (module functions, ``self`` methods through base classes, constructor
+  calls, locals typed by construction) or kept as external dotted names
+  (``time.time``) for the taint pass to match;
+* **state access** facts: module-global reads/writes (including
+  ``mod.NAME`` cross-module access) and ``self.attr`` reads/writes,
+  with mutation calls (``.append``/``[k] =``/``.update``) counted as
+  writes.
+
+Resolution is deliberately static and conservative: a call that cannot
+be resolved produces no edge, never a guessed one — the passes on top
+are tuned so that missing edges cost recall, not precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exec.fingerprint import SourceIndex
+from repro.lint.pragmas import Suppressions
+
+#: Method calls on a container that mutate it in place.
+MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "popleft", "remove",
+    "setdefault", "update",
+})
+
+#: Constructor callables whose result is shared-mutable state.
+MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "collections.defaultdict",
+    "collections.Counter", "collections.deque", "collections.OrderedDict",
+    "defaultdict", "Counter", "deque", "OrderedDict",
+})
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``("a", "b", "c")`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: Resolved dotted target: a project qualname when resolution
+    #: succeeded, an external dotted name (``time.time``) otherwise,
+    #: or None when even the receiver shape is opaque.
+    target: str | None
+
+
+@dataclass
+class GlobalVar:
+    """Module-level name that holds (potentially) mutable state."""
+
+    module: str
+    name: str
+    lineno: int
+    col: int
+    mutable: bool
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.module, self.name)
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+
+@dataclass
+class FunctionInfo:
+    """One module-level function or method, with derived facts."""
+
+    qualname: str
+    module: str
+    cls: str | None            # owning class qualname, or None
+    node: ast.AST
+    is_async: bool
+    #: Resolved call targets (project qualnames and external dotted
+    #: names), one :class:`CallSite` per call expression.
+    call_sites: list[CallSite] = field(default_factory=list)
+    #: Project functions referenced as *values* (handed to executors,
+    #: registries, conditionals) — a weaker possible-call edge.
+    refs: set[str] = field(default_factory=set)
+    #: (module, name) pairs of module-global state read / written.
+    global_reads: set[tuple[str, str]] = field(default_factory=set)
+    global_writes: set[tuple[str, str]] = field(default_factory=set)
+    #: ``self.attr`` reads / writes (methods only).
+    attr_reads: set[str] = field(default_factory=set)
+    attr_writes: set[str] = field(default_factory=set)
+    #: External constructor names returned by this function
+    #: (``return ProcessPoolExecutor(...)``) — used to type locals
+    #: assigned from project calls.
+    returns_ctors: set[str] = field(default_factory=set)
+    #: Local name -> constructor dotted name, from ``x = Ctor(...)``.
+    local_ctors: dict[str, str] = field(default_factory=dict)
+    #: True when any ``with`` context manager in the body names a lock
+    #: — accesses in such functions count as synchronized handoffs.
+    uses_lock: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+    @property
+    def end_lineno(self) -> int | None:
+        return getattr(self.node, "end_lineno", None)
+
+    def params(self) -> list[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if self.cls is not None and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def keyword_params(self) -> list[str]:
+        return [a.arg for a in self.node.args.kwonlyargs]
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, resolved bases, attribute construction."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.attr = Ctor(...)`` sites anywhere in the class's methods:
+    #: attr name -> resolved constructor dotted name.
+    attr_ctors: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its top-level symbols."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+    _suppressions: Suppressions | None = None
+
+    @property
+    def suppressions(self) -> Suppressions:
+        if self._suppressions is None:
+            self._suppressions = Suppressions(self.source)
+        return self._suppressions
+
+
+class ProjectGraph:
+    """Symbol table + call graph over one package tree."""
+
+    def __init__(self, index: SourceIndex | None = None):
+        self.index = index if index is not None else SourceIndex()
+        self.modules: dict[str, ModuleInfo] = {}
+        #: Every FunctionInfo by qualified name.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: Every ClassInfo by qualified name.
+        self.classes: dict[str, ClassInfo] = {}
+        #: Every GlobalVar by (module, name).
+        self.globals: dict[tuple[str, str], GlobalVar] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # phase 1: parse + symbols
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for modname in self.index.all_modules():
+            path = self.index.module_path(modname)
+            if path is None:      # pragma: no cover - race with deletes
+                continue
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                # an unparseable file is the syntactic tier's LNT000;
+                # the project graph just leaves it out
+                continue
+            info = ModuleInfo(name=modname, path=str(path),
+                              source=source, tree=tree)
+            self._collect_aliases(info)
+            self._collect_symbols(info)
+            self.modules[modname] = info
+        for info in self.modules.values():
+            for fn in list(info.functions.values()):
+                self._scan_function(info, fn)
+            for cls in info.classes.values():
+                for fn in cls.methods.values():
+                    self._scan_function(info, fn)
+
+    def _collect_aliases(self, info: ModuleInfo) -> None:
+        """Name -> dotted target for every import in the module.
+
+        Function-local imports land in the same map: for resolution a
+        name bound anywhere in the file beats guessing, and the
+        determinism rules already police *where* imports sit.
+        """
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        info.aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        info.aliases.setdefault(head, head)
+            elif isinstance(node, ast.ImportFrom):
+                base = self.index.resolve_import_from(info.name, node)
+                if base is None and node.level == 0:
+                    base = node.module
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    info.aliases[bound] = f"{base}.{alias.name}"
+
+    def _collect_symbols(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, _FUNC_NODES):
+                fn = FunctionInfo(
+                    qualname=f"{info.name}.{node.name}", module=info.name,
+                    cls=None, node=node,
+                    is_async=isinstance(node, ast.AsyncFunctionDef))
+                info.functions[node.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(node, ast.ClassDef):
+                cls = ClassInfo(qualname=f"{info.name}.{node.name}",
+                                module=info.name, node=node)
+                for base in node.bases:
+                    parts = _dotted(base)
+                    if parts is not None:
+                        resolved = self._resolve_dotted(info, parts)
+                        if resolved:
+                            cls.bases.append(resolved)
+                for item in node.body:
+                    if isinstance(item, _FUNC_NODES):
+                        fn = FunctionInfo(
+                            qualname=f"{cls.qualname}.{item.name}",
+                            module=info.name, cls=cls.qualname, node=item,
+                            is_async=isinstance(item, ast.AsyncFunctionDef))
+                        cls.methods[item.name] = fn
+                        self.functions[fn.qualname] = fn
+                info.classes[node.name] = cls
+                self.classes[cls.qualname] = cls
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                value = node.value
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    var = GlobalVar(
+                        module=info.name, name=target.id,
+                        lineno=target.lineno, col=target.col_offset + 1,
+                        mutable=self._is_mutable_value(info, value))
+                    info.globals.setdefault(target.id, var)
+                    self.globals.setdefault(var.key, var)
+
+    def _is_mutable_value(self, info: ModuleInfo,
+                          value: ast.AST | None) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            parts = _dotted(value.func)
+            if parts is None:
+                return False
+            name = self._resolve_dotted(info, parts) or ".".join(parts)
+            return (name in MUTABLE_CONSTRUCTORS
+                    or name.split(".")[-1] in MUTABLE_CONSTRUCTORS)
+        return False
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def _resolve_dotted(self, info: ModuleInfo,
+                        parts: tuple[str, ...],
+                        locals_: frozenset[str] = frozenset()
+                        ) -> str | None:
+        """Resolve a dotted chain to a project qualname or external name.
+
+        The head is expanded through the module's alias map, then the
+        chain is shortened greedily against known project symbols: for
+        ``units.cell_time`` with ``units`` aliased to
+        ``repro.sim.units`` the result is the function's qualname; for
+        ``time.time`` it is the external dotted name itself.  A head
+        that is a function-local name resolves to nothing.
+        """
+        head = parts[0]
+        if head in locals_:
+            return None
+        if head in info.aliases:
+            expanded = info.aliases[head].split(".") + list(parts[1:])
+        elif head in info.functions or head in info.classes \
+                or head in info.globals:
+            expanded = info.name.split(".") + list(parts)
+        else:
+            expanded = list(parts)
+        name = ".".join(expanded)
+        # shorten module.Class.method / module.func through the tables
+        for cut in range(len(expanded), 0, -1):
+            prefix = ".".join(expanded[:cut])
+            if prefix in self.functions or prefix in self.classes:
+                rest = expanded[cut:]
+                return ".".join([prefix] + rest) if rest else prefix
+            if prefix in self.modules and cut < len(expanded):
+                inner = self.modules[prefix]
+                sym = expanded[cut]
+                rest = expanded[cut + 1:]
+                if sym in inner.functions or sym in inner.classes \
+                        or sym in inner.globals:
+                    return ".".join([prefix, sym] + rest)
+        return name
+
+    def resolve_call_target(self, fn: FunctionInfo,
+                            call: ast.Call) -> str | None:
+        """Dotted target of one call inside ``fn`` (see CallSite)."""
+        info = self.modules[fn.module]
+        locals_ = self._locals_of(fn)
+        func = call.func
+        parts = _dotted(func)
+        if parts is None:
+            return None
+        if parts[0] == "self" and fn.cls is not None:
+            if len(parts) == 2:
+                resolved = self._resolve_method(fn.cls, parts[1])
+                if resolved is not None:
+                    return resolved
+                ctor = self._attr_ctor(fn.cls, parts[1])
+                if ctor is not None:
+                    return ctor
+            elif len(parts) > 2:
+                # self.attr.method(...): type the attribute if we can
+                ctor = self._attr_ctor(fn.cls, parts[1])
+                if ctor is not None:
+                    return ".".join([ctor] + list(parts[2:]))
+            return None
+        if parts[0] in fn.local_ctors and len(parts) > 1:
+            ctor = fn.local_ctors[parts[0]]
+            target = ".".join([ctor] + list(parts[1:]))
+            if len(parts) == 2 and ctor in self.classes:
+                resolved = self._resolve_method(ctor, parts[1])
+                if resolved is not None:
+                    return resolved
+            return target
+        resolved = self._resolve_dotted(info, parts, locals_)
+        if resolved in self.classes:
+            init = self._resolve_method(resolved, "__init__")
+            return init if init is not None else resolved
+        return resolved
+
+    def _resolve_method(self, cls_qualname: str,
+                        method: str) -> str | None:
+        """``cls.method`` resolved through project base classes."""
+        seen: set[str] = set()
+        frontier = [cls_qualname]
+        while frontier:
+            qual = frontier.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            cls = self.classes[qual]
+            if method in cls.methods:
+                return cls.methods[method].qualname
+            frontier.extend(cls.bases)
+        return None
+
+    def _attr_ctor(self, cls_qualname: str, attr: str) -> str | None:
+        seen: set[str] = set()
+        frontier = [cls_qualname]
+        while frontier:
+            qual = frontier.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            cls = self.classes[qual]
+            if attr in cls.attr_ctors:
+                return cls.attr_ctors[attr]
+            frontier.extend(cls.bases)
+        return None
+
+    # ------------------------------------------------------------------
+    # phase 2: function body facts
+    # ------------------------------------------------------------------
+    def _locals_of(self, fn: FunctionInfo) -> frozenset[str]:
+        cached = getattr(fn, "_locals_cache", None)
+        if cached is not None:
+            return cached
+        names: set[str] = set()
+        args = fn.node.args
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            names.add(a.arg)
+        for a in (args.vararg, args.kwarg):
+            if a is not None:
+                names.add(a.arg)
+        declared_global: set[str] = set()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                names.add(node.id)
+        names -= declared_global
+        fn._locals_cache = frozenset(names)       # type: ignore[attr-defined]
+        fn._globals_decl = frozenset(declared_global)  # type: ignore
+        return fn._locals_cache                   # type: ignore[attr-defined]
+
+    def _scan_function(self, info: ModuleInfo, fn: FunctionInfo) -> None:
+        locals_ = self._locals_of(fn)
+        declared_global: frozenset[str] = getattr(
+            fn, "_globals_decl", frozenset())
+
+        # pass A: local constructor typing — x = Ctor(...) / _make(...)
+        # assignments, plus `with Ctor(...) as x:` bindings (how pools
+        # are idiomatically opened)
+        typed_bindings: list[tuple[ast.Call, list[ast.AST]]] = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call):
+                typed_bindings.append((node.value, list(node.targets)))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call) \
+                            and item.optional_vars is not None:
+                        typed_bindings.append(
+                            (item.context_expr, [item.optional_vars]))
+        for value, targets in typed_bindings:
+            parts = _dotted(value.func)
+            if parts is None:
+                continue
+            resolved = self._resolve_dotted(info, parts, locals_)
+            if resolved is None:
+                continue
+            ctor = resolved
+            target_fn = self.functions.get(resolved)
+            if target_fn is not None:
+                ctors = self._returns_ctors(info, target_fn)
+                if len(ctors) != 1:
+                    continue
+                ctor = next(iter(ctors))
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    fn.local_ctors.setdefault(target.id, ctor)
+                elif (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and fn.cls is not None):
+                    self.classes[fn.cls].attr_ctors.setdefault(
+                        target.attr, ctor)
+
+        # pass B: everything else
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                target = self.resolve_call_target(fn, node)
+                fn.call_sites.append(CallSite(node=node, target=target))
+                self._scan_mutation_call(info, fn, node, locals_,
+                                         declared_global)
+            elif isinstance(node, ast.Name):
+                self._scan_name(info, fn, node, locals_, declared_global)
+            elif isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)):
+                self._scan_subscript_write(info, fn, node, locals_,
+                                           declared_global)
+            elif isinstance(node, ast.Attribute):
+                self._scan_attribute(info, fn, node, locals_)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    parts = _dotted(item.context_expr)
+                    if parts is None and isinstance(
+                            item.context_expr, ast.Call):
+                        parts = _dotted(item.context_expr.func)
+                    if parts is not None and any(
+                            "lock" in p.lower() for p in parts):
+                        fn.uses_lock = True
+            elif isinstance(node, ast.Return) and node.value is not None:
+                values = [node.value]
+                if isinstance(node.value, ast.IfExp):
+                    values = [node.value.body, node.value.orelse]
+                for value in values:
+                    if isinstance(value, ast.Call):
+                        parts = _dotted(value.func)
+                        if parts is not None:
+                            resolved = self._resolve_dotted(
+                                info, parts, locals_)
+                            if resolved is not None:
+                                fn.returns_ctors.add(resolved)
+
+        # pass C: value references to project functions (possible calls)
+        call_func_nodes = {cs.node.func for cs in fn.call_sites}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            if node in call_func_nodes:
+                continue
+            if not isinstance(getattr(node, "ctx", None), ast.Load):
+                continue
+            parts = _dotted(node)
+            if parts is None:
+                continue
+            if parts[0] == "self" and fn.cls is not None and len(parts) == 2:
+                resolved = self._resolve_method(fn.cls, parts[1])
+            else:
+                resolved = self._resolve_dotted(info, parts, locals_)
+            if resolved in self.functions and resolved != fn.qualname:
+                fn.refs.add(resolved)
+
+    def _returns_ctors(self, info: ModuleInfo,
+                       fn: FunctionInfo) -> set[str]:
+        if not fn.returns_ctors:
+            locals_ = self._locals_of(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    values = [node.value]
+                    if isinstance(node.value, ast.IfExp):
+                        values = [node.value.body, node.value.orelse]
+                    for value in values:
+                        if isinstance(value, ast.Call):
+                            parts = _dotted(value.func)
+                            if parts is not None:
+                                resolved = self._resolve_dotted(
+                                    self.modules[fn.module], parts, locals_)
+                                if resolved is not None:
+                                    fn.returns_ctors.add(resolved)
+        return fn.returns_ctors
+
+    def _global_key(self, info: ModuleInfo, fn: FunctionInfo,
+                    name: str, locals_: frozenset[str],
+                    declared_global: frozenset[str]
+                    ) -> tuple[str, str] | None:
+        """(module, name) when ``name`` denotes module-global state."""
+        if name in declared_global:
+            return (info.name, name)
+        if name in locals_:
+            return None
+        if name in info.globals:
+            return (info.name, name)
+        return None
+
+    def _scan_name(self, info: ModuleInfo, fn: FunctionInfo,
+                   node: ast.Name, locals_: frozenset[str],
+                   declared_global: frozenset[str]) -> None:
+        key = self._global_key(info, fn, node.id, locals_, declared_global)
+        if key is None:
+            return
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            fn.global_writes.add(key)
+            if key not in self.globals:
+                var = GlobalVar(module=info.name, name=node.id,
+                                lineno=node.lineno,
+                                col=node.col_offset + 1, mutable=True)
+                info.globals.setdefault(node.id, var)
+                self.globals.setdefault(key, var)
+        else:
+            fn.global_reads.add(key)
+
+    def _scan_attribute(self, info: ModuleInfo, fn: FunctionInfo,
+                        node: ast.Attribute,
+                        locals_: frozenset[str]) -> None:
+        # self.attr read/write facts (methods only)
+        if (fn.cls is not None and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                fn.attr_writes.add(node.attr)
+            else:
+                fn.attr_reads.add(node.attr)
+            return
+        # mod.NAME cross-module global access
+        if isinstance(node.value, ast.Name) \
+                and node.value.id not in locals_:
+            target = info.aliases.get(node.value.id)
+            if target in self.modules \
+                    and node.attr in self.modules[target].globals:
+                key = (target, node.attr)
+                if isinstance(node.ctx, (ast.Store, ast.Del)):
+                    fn.global_writes.add(key)
+                else:
+                    fn.global_reads.add(key)
+
+    def _scan_subscript_write(self, info: ModuleInfo, fn: FunctionInfo,
+                              node: ast.Subscript,
+                              locals_: frozenset[str],
+                              declared_global: frozenset[str]) -> None:
+        """``STATE[k] = v`` / ``self.attr[k] = v`` / ``mod.NAME[k] = v``
+        → a write."""
+        receiver = node.value
+        if isinstance(receiver, ast.Name):
+            key = self._global_key(info, fn, receiver.id, locals_,
+                                   declared_global)
+            if key is not None:
+                fn.global_writes.add(key)
+        elif isinstance(receiver, ast.Attribute):
+            if (fn.cls is not None
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"):
+                fn.attr_writes.add(receiver.attr)
+            else:
+                key = self._module_attr_key(info, receiver, locals_)
+                if key is not None:
+                    fn.global_writes.add(key)
+
+    def _scan_mutation_call(self, info: ModuleInfo, fn: FunctionInfo,
+                            call: ast.Call, locals_: frozenset[str],
+                            declared_global: frozenset[str]) -> None:
+        """``STATE.append(...)`` / ``self.attr.update(...)`` → a write."""
+        func = call.func
+        if not isinstance(func, ast.Attribute) \
+                or func.attr not in MUTATING_METHODS:
+            return
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            key = self._global_key(info, fn, receiver.id, locals_,
+                                   declared_global)
+            if key is not None:
+                fn.global_writes.add(key)
+        elif isinstance(receiver, ast.Attribute):
+            if (fn.cls is not None
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"):
+                fn.attr_writes.add(receiver.attr)
+            else:
+                key = self._module_attr_key(info, receiver, locals_)
+                if key is not None:
+                    fn.global_writes.add(key)
+
+    def _module_attr_key(self, info: ModuleInfo, receiver: ast.Attribute,
+                         locals_: frozenset[str]
+                         ) -> tuple[str, str] | None:
+        """``mod.NAME`` receiver → the global's (module, name) key."""
+        if not isinstance(receiver.value, ast.Name) \
+                or receiver.value.id in locals_:
+            return None
+        target = info.aliases.get(receiver.value.id)
+        if target in self.modules \
+                and receiver.attr in self.modules[target].globals:
+            return (target, receiver.attr)
+        return None
+
+    # ------------------------------------------------------------------
+    # queries for the passes
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str,
+                include_refs: bool = False) -> set[str]:
+        """Project functions ``qualname`` can invoke.
+
+        With ``include_refs`` the weaker referenced-as-value edges are
+        added — hazard detection (CONC002) wants them, taint does not.
+        """
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return set()
+        out = {cs.target for cs in fn.call_sites
+               if cs.target in self.functions}
+        if include_refs:
+            out |= {r for r in fn.refs if r in self.functions}
+        return out
+
+    def resolve_ref(self, fn: FunctionInfo,
+                    node: ast.AST) -> str | None:
+        """Project symbol a value expression refers to, or None.
+
+        Used by the domain pass to resolve callables handed to
+        executors (``pool.submit(execute_task, ...)``,
+        ``loop.run_in_executor(ex, self._execute, ...)``).
+        """
+        parts = _dotted(node)
+        if parts is None:
+            return None
+        if parts[0] == "self" and fn.cls is not None and len(parts) == 2:
+            return self._resolve_method(fn.cls, parts[1])
+        resolved = self._resolve_dotted(self.modules[fn.module], parts,
+                                        self._locals_of(fn))
+        return resolved if resolved in self.functions else None
+
+    def constructed_kind(self, fn: FunctionInfo,
+                         node: ast.AST) -> str | None:
+        """Constructor dotted name behind a receiver expression.
+
+        Types ``pool`` in ``pool.submit(...)`` through the local
+        constructor map, ``self._executor`` through the owning class's
+        attribute constructions, and a plain dotted name through the
+        alias map.
+        """
+        if isinstance(node, ast.Constant) and node.value is None:
+            return None
+        parts = _dotted(node)
+        if parts is None:
+            return None
+        if parts[0] == "self" and fn.cls is not None and len(parts) == 2:
+            return self._attr_ctor(fn.cls, parts[1])
+        if parts[0] in fn.local_ctors and len(parts) == 1:
+            return fn.local_ctors[parts[0]]
+        return self._resolve_dotted(self.modules[fn.module], parts,
+                                    self._locals_of(fn))
+
+    def module_of_path(self, path: str | Path) -> str | None:
+        return self.index.module_name_of(path)

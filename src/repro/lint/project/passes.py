@@ -1,0 +1,81 @@
+"""Project-pass base class and registry.
+
+Mirrors :mod:`repro.lint.registry`, but a pass sees the whole
+:class:`~repro.lint.project.graph.ProjectGraph` instead of one file.
+Findings honour the same inline pragmas as the syntactic tier (checked
+against the module the finding lands in), so ``# lint: disable=CONC001``
+works exactly like ``# lint: disable=DET001``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Type
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.project.graph import ProjectGraph
+
+
+class ProjectPass:
+    """One whole-program check with a stable id."""
+
+    #: Stable identifier, e.g. ``CONC001`` (family prefix + number).
+    id: str = ""
+    #: Default severity of this pass's findings.
+    severity: Severity = Severity.ERROR
+    #: One-line human summary shown by ``--list-rules``.
+    summary: str = ""
+
+    def run(self, graph: ProjectGraph) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def finding(self, graph: ProjectGraph, module: str,
+                anchor: ast.AST | int, message: str,
+                symbol: str = "") -> Finding:
+        """Build a finding anchored in ``module`` at a node or line."""
+        info = graph.modules[module]
+        if isinstance(anchor, int):
+            line, col, end = anchor, 1, None
+        else:
+            line = getattr(anchor, "lineno", 1)
+            col = getattr(anchor, "col_offset", 0) + 1
+            end = getattr(anchor, "end_lineno", None)
+        path = info.path
+        rel = os.path.relpath(path)
+        if not rel.startswith(".."):
+            path = rel
+        return Finding(path=path, line=line, col=col, rule_id=self.id,
+                       severity=self.severity, message=message,
+                       end_line=end, symbol=symbol)
+
+
+_REGISTRY: dict[str, Type[ProjectPass]] = {}
+
+
+def register(cls: Type[ProjectPass]) -> Type[ProjectPass]:
+    """Class decorator adding a pass to the registry."""
+    if not cls.id:
+        raise ValueError(f"pass {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate pass id {cls.id!r}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_passes() -> list[ProjectPass]:
+    """Fresh instances of every registered pass, sorted by id."""
+    _load_builtin_passes()
+    return [_REGISTRY[pass_id]() for pass_id in sorted(_REGISTRY)]
+
+
+def get_pass(pass_id: str) -> ProjectPass:
+    _load_builtin_passes()
+    return _REGISTRY[pass_id]()
+
+
+def _load_builtin_passes() -> None:
+    # lazy, mirroring the rule registry: the pass modules import
+    # ProjectPass/register from here
+    from repro.lint.project import domains, taint, unitsflow  # noqa: F401

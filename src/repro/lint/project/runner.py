@@ -1,0 +1,176 @@
+"""Project-analysis driver: graph build, passes, cache, baseline.
+
+:func:`analyze_project` is the single entry point the CLI and the
+clean-tree gate call.  Order of operations:
+
+1. compute the **program digest** (every module digest + analyzer
+   version); on a cache hit, replay stored findings without parsing a
+   single file — this is the warm path;
+2. otherwise build the :class:`~repro.lint.project.graph.ProjectGraph`
+   once and run every selected pass over it, dropping findings the
+   module's inline pragmas suppress (``# lint: disable=CONC001`` works
+   exactly like the syntactic tier), then store the result;
+3. apply the **baseline** last, outside the cache: accepted findings
+   are filtered out and entries that matched nothing are reported as
+   stale.  The baseline lives in a separate file, so it must not be
+   baked into cached results.
+
+``restrict_modules`` trims *reporting* (for ``--changed``) without
+trimming analysis — whole-program passes are only sound over the whole
+program, so the graph is always complete; scoping only decides which
+modules' findings you want to see.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.exec.fingerprint import SourceIndex
+from repro.lint.findings import Finding
+from repro.lint.pragmas import Suppressions
+from repro.lint.project import cache as cache_mod
+from repro.lint.project.baseline import Baseline, BaselineEntry
+from repro.lint.project.graph import ProjectGraph
+from repro.lint.project.passes import all_passes
+
+
+@dataclass
+class ProjectReport:
+    """Outcome of one project-analysis run."""
+
+    #: Findings after pragma suppression and baseline filtering.
+    findings: list[Finding]
+    #: How many findings the baseline accepted (filtered out).
+    baselined: int
+    #: Baseline entries that matched nothing this run.
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: True when findings were replayed from the result cache.
+    from_cache: bool = False
+    #: The program digest the run keyed on.
+    program_digest: str = ""
+    #: Modules in the analyzed tree.
+    modules_analyzed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No live findings and no stale baseline entries."""
+        return not self.findings and not self.stale_baseline
+
+
+def analyze_project(index: SourceIndex | None = None, *,
+                    select: list[str] | None = None,
+                    ignore: list[str] | None = None,
+                    cache_dir: str | None = None,
+                    baseline: Baseline | None = None,
+                    restrict_modules: set[str] | None = None,
+                    suppression_registry: dict[str, Suppressions]
+                    | None = None) -> ProjectReport:
+    """Run the project passes over one package tree.
+
+    ``select``/``ignore`` filter pass ids (same semantics as the
+    syntactic tier).  ``cache_dir`` enables the program-digest cache —
+    do not combine it with dead-pragma reporting, since a cache hit
+    skips the pass run that marks pragmas used.  When a
+    ``suppression_registry`` is supplied, modules already linted by the
+    syntactic tier share their :class:`Suppressions` objects, so usage
+    marks from both tiers land in one place.
+    """
+    index = index if index is not None else SourceIndex()
+    digest = cache_mod.program_digest(index)
+    all_modules = index.all_modules()
+
+    findings: list[Finding] | None = None
+    from_cache = False
+    if cache_dir is not None and select is None and ignore is None:
+        findings = cache_mod.load_cached(cache_dir, digest)
+        from_cache = findings is not None
+
+    if findings is None:
+        graph = ProjectGraph(index)
+        _share_suppressions(graph, suppression_registry)
+        passes = all_passes()
+        if select is not None:
+            wanted = {s.upper() for s in select}
+            passes = [p for p in passes if p.id in wanted]
+        if ignore is not None:
+            dropped = {s.upper() for s in ignore}
+            passes = [p for p in passes if p.id not in dropped]
+        raw: list[Finding] = []
+        for project_pass in passes:
+            raw.extend(project_pass.run(graph))
+        findings = _apply_pragmas(graph, raw)
+        if cache_dir is not None and select is None and ignore is None:
+            cache_mod.store(cache_dir, digest, findings)
+
+    if restrict_modules is not None:
+        keep = set(restrict_modules)
+        findings = [f for f in findings
+                    if _module_of(index, f.path) in keep]
+
+    baselined = 0
+    stale: list[BaselineEntry] = []
+    if baseline is not None:
+        before = len(findings)
+        findings = baseline.filter(findings)
+        baselined = before - len(findings)
+        if restrict_modules is None:
+            stale = baseline.unused()
+
+    return ProjectReport(findings=sorted(set(findings)),
+                         baselined=baselined, stale_baseline=stale,
+                         from_cache=from_cache, program_digest=digest,
+                         modules_analyzed=len(all_modules))
+
+
+def _share_suppressions(graph: ProjectGraph,
+                        registry: dict[str, Suppressions] | None) -> None:
+    """Join the two tiers' pragma bookkeeping on real file identity."""
+    if registry is None:
+        return
+    by_real = {os.path.realpath(path): supp
+               for path, supp in registry.items()}
+    for info in graph.modules.values():
+        real = os.path.realpath(info.path)
+        existing = by_real.get(real)
+        if existing is not None:
+            info._suppressions = existing
+        else:
+            registry[info.path] = info.suppressions
+            by_real[real] = info.suppressions
+
+
+def _apply_pragmas(graph: ProjectGraph,
+                   findings: list[Finding]) -> list[Finding]:
+    by_real = {os.path.realpath(info.path): info
+               for info in graph.modules.values()}
+    kept: list[Finding] = []
+    for finding in findings:
+        info = by_real.get(os.path.realpath(finding.path))
+        if info is not None and info.suppressions.is_suppressed(
+                finding.rule_id, finding.line):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def _module_of(index: SourceIndex, path: str) -> str | None:
+    return index.module_name_of(os.path.realpath(path))
+
+
+def changed_modules(index: SourceIndex, changed_paths: list[str]
+                    ) -> set[str]:
+    """Modules to report for ``--changed``: edits + reverse closure.
+
+    ``changed_paths`` is whatever ``git diff --name-only`` produced;
+    paths outside the indexed tree are ignored (a doc edit scopes the
+    project tier to nothing).
+    """
+    roots = []
+    for path in changed_paths:
+        modname = _module_of(index, path)
+        if modname is not None:
+            roots.append(modname)
+    if not roots:
+        return set()
+    return set(index.dependents_closure(roots))

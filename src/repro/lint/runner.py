@@ -20,27 +20,49 @@ EXCLUDED_DIRS = frozenset({
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
-    """Yield .py files: explicit files as-is, directories recursively."""
+    """Yield .py files: explicit files as-is, directories recursively.
+
+    Each file is yielded at most once however many of the argument
+    paths cover it (``repro lint src src/repro/cli.py`` must not lint
+    ``cli.py`` twice — duplicate findings and an inflated
+    ``files_checked`` both lie).  Identity is the resolved real path,
+    so overlapping directories and symlinked aliases dedupe too; the
+    *first* spelling of a path wins, keeping reported paths stable.
+    """
+    seen: set[str] = set()
     for path in paths:
         if os.path.isfile(path):
-            yield path
+            real = os.path.realpath(path)
+            if real not in seen:
+                seen.add(real)
+                yield path
         elif os.path.isdir(path):
             for root, dirs, files in os.walk(path):
                 dirs[:] = sorted(d for d in dirs if d not in EXCLUDED_DIRS)
                 for name in sorted(files):
-                    if name.endswith(".py"):
-                        yield os.path.join(root, name)
+                    if not name.endswith(".py"):
+                        continue
+                    full = os.path.join(root, name)
+                    real = os.path.realpath(full)
+                    if real not in seen:
+                        seen.add(real)
+                        yield full
         else:
             raise FileNotFoundError(path)
 
 
 def lint_source(source: str, path: str,
-                rules: Iterable[Rule] | None = None) -> list[Finding]:
+                rules: Iterable[Rule] | None = None,
+                suppression_registry: dict | None = None) -> list[Finding]:
     """Lint one source string as if it lived at ``path``.
 
     ``path`` drives rule scoping (e.g. determinism rules only apply
     under a ``repro`` package directory), which is also what lets tests
-    lint snippets against a virtual location.
+    lint snippets against a virtual location.  When a
+    ``suppression_registry`` dict is passed, the file's
+    :class:`~repro.lint.pragmas.Suppressions` object (with its usage
+    marks) is stored under ``path`` so callers can detect dead pragmas
+    across both lint tiers.
     """
     try:
         tree = ast.parse(source, filename=path)
@@ -50,6 +72,8 @@ def lint_source(source: str, path: str,
                         severity=Severity.ERROR,
                         message=f"file does not parse: {exc.msg}")]
     ctx = FileContext(path, source, tree)
+    if suppression_registry is not None:
+        suppression_registry[path] = ctx.suppressions
     findings: list[Finding] = []
     for rule in (all_rules() if rules is None else rules):
         if not rule.applies_to(ctx):
@@ -63,8 +87,9 @@ def lint_source(source: str, path: str,
 
 def lint_paths(paths: Sequence[str],
                select: Iterable[str] | None = None,
-               ignore: Iterable[str] | None = None) -> tuple[list[Finding],
-                                                             int]:
+               ignore: Iterable[str] | None = None,
+               suppression_registry: dict | None = None
+               ) -> tuple[list[Finding], int]:
     """Lint files/directories; returns (findings, files_checked).
 
     ``select`` restricts the run to the given rule ids; ``ignore`` drops
@@ -84,5 +109,7 @@ def lint_paths(paths: Sequence[str],
         files_checked += 1
         with open(file_path, encoding="utf-8") as handle:
             source = handle.read()
-        findings.extend(lint_source(source, file_path, rules=rules))
+        findings.extend(lint_source(
+            source, file_path, rules=rules,
+            suppression_registry=suppression_registry))
     return sorted(findings), files_checked

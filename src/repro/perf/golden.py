@@ -60,7 +60,7 @@ def canonical_series(probe: Probe) -> tuple[array, array]:
     for t, v in zip(probe.times, probe.values):
         # exact compare on purpose: canonicalisation collapses samples
         # at bit-identical timestamps only
-        if times and t == times[-1]:  # lint: disable=FLT001
+        if times and t == times[-1]:
             values[-1] = v
         else:
             times.append(t)

@@ -154,7 +154,7 @@ class TcpRenoSource(PacketSink):
         self.started = True
         # fire-and-forget: a started flow is never unstarted, so the
         # begin event needs no handle (the RTO timer is what we cancel)
-        self.sim.schedule_at(  # lint: disable=SIM002
+        self.sim.schedule_at(
             max(self.start_time, self.sim.now), self._begin)
 
     def _begin(self) -> None:

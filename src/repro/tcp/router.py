@@ -170,9 +170,9 @@ class PacketPort(PacketSink):
         # overhead itself a measurable cost
         now = self.sim.now
         vals = self._qp_vals
-        if not vals or vals[-1] != qlen:  # lint: disable=FLT001
+        if not vals or vals[-1] != qlen:
             times = self._qp_times
-            if times and times[-1] == now:  # lint: disable=FLT001
+            if times and times[-1] == now:
                 vals[-1] = qlen
             else:
                 times.append(now)
@@ -205,9 +205,9 @@ class PacketPort(PacketSink):
             # StepProbe.record hand-inlined (see receive)
             now = sim.now
             vals = self._qp_vals
-            if not vals or vals[-1] != qlen:  # lint: disable=FLT001
+            if not vals or vals[-1] != qlen:
                 times = self._qp_times
-                if times and times[-1] == now:  # lint: disable=FLT001
+                if times and times[-1] == now:
                     vals[-1] = qlen
                 else:
                     times.append(now)

@@ -70,6 +70,48 @@ def test_closure_digests_change_with_the_file(tree):
     assert before["repro.a"] == after["repro.a"]
 
 
+def test_all_modules_enumerates_the_tree_sorted(tree):
+    index = SourceIndex(root=tree)
+    assert index.all_modules() == (
+        "repro", "repro.a", "repro.b", "repro.sub", "repro.sub.c",
+        "repro.sub.d")
+    (tree / "sub" / "__pycache__").mkdir()
+    (tree / "sub" / "__pycache__" / "junk.py").write_text("")
+    assert "repro.sub.__pycache__.junk" not in SourceIndex(
+        root=tree).all_modules()
+
+
+def test_module_name_of_inverts_module_path(tree):
+    index = SourceIndex(root=tree)
+    for modname in index.all_modules():
+        assert index.module_name_of(index.module_path(modname)) == modname
+    assert index.module_name_of(tree / ".." / "elsewhere.py") is None
+    assert index.module_name_of(tree / "a.txt") is None
+
+
+def test_dependents_closure_is_the_reverse_of_imports(tree):
+    index = SourceIndex(root=tree)
+    # a imports b and sub.c; c imports d and b — so editing d
+    # invalidates c and a but never b
+    assert set(index.dependents_closure(["repro.sub.d"])) >= {
+        "repro.sub.d", "repro.sub.c", "repro.a"}
+    assert "repro.b" not in index.dependents_closure(["repro.sub.d"])
+    assert set(index.dependents_closure(["repro.b"])) == {
+        "repro.a", "repro.b", "repro.sub.c"}
+
+
+def test_resolve_import_from_handles_relative_levels(tree):
+    import ast
+
+    index = SourceIndex(root=tree)
+    node = ast.parse("from . import d").body[0]
+    assert index.resolve_import_from("repro.sub.c", node) == "repro.sub"
+    node = ast.parse("from ..b import something").body[0]
+    assert index.resolve_import_from("repro.sub.c", node) == "repro.b"
+    node = ast.parse("from repro.sub import c").body[0]
+    assert index.resolve_import_from("repro.a", node) == "repro.sub"
+
+
 # ----------------------------------------------------------------------
 # task fingerprints over (a copy of) the real tree
 # ----------------------------------------------------------------------

@@ -52,7 +52,7 @@ def test_unknown_scenario_lists_known_names():
 
 def test_register_rejects_lambdas(scratch_registry):
     with pytest.raises(TypeError, match="module-level"):
-        register_scenario("x.lambda", lambda: None,  # lint: disable=EXE001
+        register_scenario("x.lambda", lambda: None,
                           kind="atm")
 
 
@@ -61,7 +61,7 @@ def test_register_rejects_closures(scratch_registry):
         return None
 
     with pytest.raises(TypeError, match="module-level"):
-        register_scenario("x.closure", closure,  # lint: disable=EXE001
+        register_scenario("x.closure", closure,
                           kind="atm")
 
 
@@ -69,7 +69,7 @@ def test_register_rejects_unimportable_callables(scratch_registry):
     # a partial has no qualname pointing at a module-level binding
     from functools import partial
     with pytest.raises(TypeError):
-        register_scenario("x.partial",  # lint: disable=EXE001
+        register_scenario("x.partial",
                           partial(module_level_entry, 0.2), kind="atm")
 
 

@@ -1,0 +1,41 @@
+"""Fork-after-thread surfaces — the CONC002 positives and twins."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def entry(spec):                    # violation CONC002
+    """Thread entry reaching a fork pool two calls down."""
+    return fanout(spec)
+
+
+def fanout(spec):
+    with ProcessPoolExecutor() as pool:
+        return pool.submit(work, spec)
+
+
+def raw_fork():                     # violation CONC002
+    """Thread entry forking directly."""
+    import os
+
+    return os.fork()
+
+
+def work(spec):
+    return spec
+
+
+def safe_entry(spec):
+    """Negative twin: thread entry that stays in-process."""
+    return work(spec)
+
+
+def wire():
+    pool = ThreadPoolExecutor(max_workers=2)
+    pool.submit(entry, None)
+    pool.submit(raw_fork)
+    pool.submit(safe_entry, None)
+
+
+def main_thread_fanout(spec):
+    """Negative twin: fork pool created off the thread domain."""
+    return fanout(spec)

@@ -1,0 +1,86 @@
+"""Async gateway with a thread bridge — the CONC001/CONC003 surface."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import state
+
+_LOCK = threading.Lock()
+
+
+def bridge(job):
+    """Runs on a pool worker: writes two globals, one unguarded."""
+    state.PENDING.append(job)
+    state.RESULTS[job] = "done"
+    state.LOCAL_ONLY.append(job)
+
+
+def guarded_bridge(job):
+    with _LOCK:
+        state.GUARDED.append(job)
+
+
+async def handle(job):
+    pool = ThreadPoolExecutor(max_workers=1)
+    pool.submit(bridge, job)
+    pool.submit(guarded_bridge, job)
+    return len(state.PENDING) + len(state.RESULTS) + len(state.FROZEN)
+
+
+async def drain():
+    with _LOCK:
+        return list(state.GUARDED)
+
+
+class Store:                      # violation CONC003
+    """CONC003 positive: ``items`` crosses thread -> asyncio unlocked."""
+
+    def put(self, item):
+        self.items = [item]
+
+    async def get(self):
+        return self.items
+
+
+class Counter:                    # violation CONC003
+    """CONC003 positive number two, via a mutation call."""
+
+    def __init__(self):
+        self.seen = []
+
+    def bump(self, item):
+        self.seen.append(item)
+
+    async def snapshot(self):
+        return list(self.seen)
+
+
+class LockedStore:
+    """Negative twin: both sides hold the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def put(self, item):
+        with self._lock:
+            self.items = [item]
+
+    async def get(self):
+        with self._lock:
+            return self.items
+
+
+def shim():
+    """Thread-side entry: drives the stores from a pool worker."""
+    store = Store()
+    store.put(1)
+    counter = Counter()
+    counter.bump(2)
+    locked = LockedStore()
+    locked.put(3)
+
+
+def wire():
+    pool = ThreadPoolExecutor(max_workers=1)
+    pool.submit(shim)

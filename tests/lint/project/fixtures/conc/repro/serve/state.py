@@ -1,0 +1,14 @@
+"""Module-global state shared across the gateway's domains.
+
+CONC001 positives: PENDING (written from the thread bridge, read from
+the event loop) and RESULTS (dict, written thread-side via subscript,
+read async-side).  Negative twins: GUARDED is only touched under a
+lock, FROZEN is only ever read, and LOCAL_ONLY never leaves the
+thread domain.
+"""
+
+PENDING = []        # violation CONC001
+RESULTS = {}        # violation CONC001
+GUARDED = []
+FROZEN = (1, 2, 3)
+LOCAL_ONLY = []

@@ -1,0 +1,41 @@
+"""Helpers outside the sim tree that the sim roots call into.
+
+The taint pass must flag the sources *here*, with the chain from the
+sim root in the message; the pragma'd and seeded twins must stay
+silent.
+"""
+
+import os
+import random
+import time
+import uuid
+
+
+def jitter():
+    rng = random.Random()           # violation DTT001
+    return rng.random()
+
+
+def entropy():
+    return uuid.uuid4().int         # violation DTT001
+
+
+def draw():
+    return random.random()          # violation DTT001
+
+
+def stamp():
+    return time.time()              # violation DTT002
+
+
+def config():
+    return os.getenv("REPRO_SEED")  # violation DTT002
+
+
+def seeded_jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def pinned_stamp():
+    return time.time()  # lint: disable=DET002 -- reviewed measurement boundary

@@ -1,0 +1,22 @@
+"""Sim-domain roots that reach nondeterminism through call chains."""
+
+from repro.obs import probes
+
+
+def run_scenario():
+    return probes.jitter() + probes.stamp() + probes.config()
+
+
+def warmup():
+    return probes.entropy() + probes.draw()
+
+
+def seeded_scenario():
+    return probes.seeded_jitter(42) + probes.pinned_stamp()
+
+
+def local_draw():
+    # a *same-function* global draw is DET001's to report, not DTT001's
+    import random
+
+    return random.random()

@@ -1,0 +1,48 @@
+"""Cross-function unit flows the syntactic UNT rules cannot see."""
+
+
+def cell_delay_s(rate_mbps):
+    return 424.0 / (rate_mbps * 1e6)
+
+
+def window_ms(rtt_ms):
+    return 4 * rtt_ms
+
+
+def schedule(interval_ms):
+    return interval_ms
+
+
+def submit(deadline_s):
+    return deadline_s
+
+
+def mixes_call_units():
+    delay_s = cell_delay_s(155.0)
+    schedule(delay_s)               # violation UNI001
+    submit(window_ms(2.0))          # violation UNI001
+    return delay_s
+
+
+def mislabels_assignment():
+    total_ms = cell_delay_s(155.0)  # violation UNI002
+    return total_ms
+
+
+def gap_ms(rate_mbps):
+    return cell_delay_s(rate_mbps)  # violation UNI002
+
+
+def converts_correctly():
+    # multiplication clears the unit, so explicit conversion is silent
+    delay_s = cell_delay_s(155.0)
+    delay_ms = delay_s * 1e3
+    schedule(delay_ms)
+    return submit(delay_s)
+
+
+def unknown_stays_silent(raw):
+    # no suffix, no inferred unit: never a mismatch
+    schedule(raw)
+    budget_ms = window_ms(2.0)
+    return budget_ms

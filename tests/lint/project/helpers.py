@@ -1,0 +1,68 @@
+"""Shared helpers for the project-analysis tests.
+
+Fixture *trees* live under ``tests/lint/project/fixtures/<name>/repro``
+— whole mini-packages rather than single files, because every pass
+under test is interprocedural.  As with the syntactic fixtures, lines
+tagged ``# violation <RULE>`` are the exact set a pass must flag, and
+the ``fixtures`` path segment keeps the tree-wide clean walk away.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.exec.fingerprint import SourceIndex
+from repro.lint.project import ProjectGraph, get_pass
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def fixture_index(name: str) -> SourceIndex:
+    return SourceIndex(FIXTURES / name / "repro")
+
+
+def fixture_graph(name: str) -> ProjectGraph:
+    return ProjectGraph(fixture_index(name))
+
+
+def run_pass(pass_id: str, graph: ProjectGraph):
+    return sorted(get_pass(pass_id).run(graph))
+
+
+def expected_sites(name: str, rule_id: str) -> set[tuple[str, int]]:
+    """``(path-suffix, line)`` pairs tagged ``# violation <rule>``."""
+    out: set[tuple[str, int]] = set()
+    root = FIXTURES / name / "repro"
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(FIXTURES / name).as_posix()
+        for i, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            if f"# violation {rule_id}" in line:
+                out.add((rel, i))
+    return out
+
+
+def found_sites(findings, name: str) -> set[tuple[str, int]]:
+    """Findings as ``(path-suffix, line)`` pairs matching the tags."""
+    marker = f"/fixtures/{name}/"
+    out = set()
+    for f in findings:
+        path = f.path.replace("\\", "/")
+        assert marker in path, f"finding outside fixture tree: {f.path}"
+        out.add((path.split(marker, 1)[1], f.line))
+    return out
+
+
+def write_tree(root: Path, files: dict[str, str]) -> SourceIndex:
+    """Materialise a ``repro`` package from relpath->source in tests."""
+    pkg = root / "repro"
+    for rel, src in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    for directory in [pkg] + [p for p in pkg.rglob("*") if p.is_dir()]:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return SourceIndex(pkg)

@@ -1,0 +1,55 @@
+"""Concurrency-domain classification and the CONC* passes."""
+
+import pytest
+
+from tests.lint.project.helpers import (expected_sites, fixture_graph,
+                                        found_sites, run_pass)
+
+from repro.lint.project.domains import (DOMAIN_ASYNC, DOMAIN_THREAD,
+                                        classify_domains)
+
+
+@pytest.fixture(scope="module")
+def conc_graph():
+    return fixture_graph("conc")
+
+
+def test_domains_seed_and_propagate(conc_graph):
+    domains = classify_domains(conc_graph)
+    assert DOMAIN_ASYNC in domains["repro.serve.gateway.handle"]
+    # submitted entry and everything it calls runs on the pool thread
+    assert DOMAIN_THREAD in domains["repro.serve.gateway.bridge"]
+    assert DOMAIN_THREAD in domains["repro.serve.gateway.shim"]
+    assert DOMAIN_THREAD in domains["repro.serve.gateway.Store.put"]
+    # the executor hand-off is not a call edge: wire() itself does not
+    # inherit the thread domain from what it submits
+    assert DOMAIN_THREAD not in domains.get("repro.serve.gateway.wire",
+                                            frozenset())
+
+
+def test_conc001_flags_exactly_the_tagged_globals(conc_graph):
+    findings = run_pass("CONC001", conc_graph)
+    assert found_sites(findings, "conc") == expected_sites("conc",
+                                                           "CONC001")
+    symbols = {f.symbol for f in findings}
+    assert symbols == {"repro.serve.state.PENDING",
+                       "repro.serve.state.RESULTS"}
+
+
+def test_conc002_flags_exactly_the_tagged_entries(conc_graph):
+    findings = run_pass("CONC002", conc_graph)
+    assert found_sites(findings, "conc") == expected_sites("conc",
+                                                           "CONC002")
+    # the message carries the chain to the fork site
+    by_symbol = {f.symbol: f.message for f in findings}
+    assert "fanout" in by_symbol["repro.exec.bridge.entry"]
+    assert "raw_fork" in by_symbol["repro.exec.bridge.raw_fork"]
+
+
+def test_conc003_flags_exactly_the_tagged_attributes(conc_graph):
+    findings = run_pass("CONC003", conc_graph)
+    assert found_sites(findings, "conc") == expected_sites("conc",
+                                                           "CONC003")
+    assert {f.symbol for f in findings} == {
+        "repro.serve.gateway.Store.items",
+        "repro.serve.gateway.Counter.seen"}

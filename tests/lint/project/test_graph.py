@@ -1,0 +1,184 @@
+"""ProjectGraph: symbols, aliases, call resolution, state facts."""
+
+from tests.lint.project.helpers import write_tree
+
+from repro.lint.project import ProjectGraph
+
+
+def _graph(tmp_path, files):
+    return ProjectGraph(write_tree(tmp_path, files))
+
+
+def test_symbol_table_covers_functions_methods_and_globals(tmp_path):
+    graph = _graph(tmp_path, {
+        "core/engine.py": """
+            QUEUE = []
+            LIMIT = 10
+
+            def push(item):
+                QUEUE.append(item)
+
+            class Simulator:
+                def run(self):
+                    return push(1)
+        """,
+    })
+    assert "repro.core.engine.push" in graph.functions
+    assert "repro.core.engine.Simulator.run" in graph.functions
+    assert "repro.core.engine.Simulator" in graph.classes
+    assert ("repro.core.engine", "QUEUE") in graph.globals
+    assert graph.globals[("repro.core.engine", "QUEUE")].mutable
+    assert not graph.globals[("repro.core.engine", "LIMIT")].mutable
+
+
+def test_calls_resolve_across_modules_and_relative_imports(tmp_path):
+    graph = _graph(tmp_path, {
+        "a.py": """
+            from repro import b
+            from repro.sub.c import helper
+
+            def top():
+                b.middle()
+                helper()
+        """,
+        "b.py": """
+            from .sub import c
+
+            def middle():
+                c.helper()
+        """,
+        "sub/c.py": """
+            def helper():
+                return 1
+        """,
+    })
+    assert set(graph.callees("repro.a.top")) == {
+        "repro.b.middle", "repro.sub.c.helper"}
+    assert set(graph.callees("repro.b.middle")) == {"repro.sub.c.helper"}
+
+
+def test_self_method_calls_resolve_through_base_classes(tmp_path):
+    graph = _graph(tmp_path, {
+        "m.py": """
+            class Base:
+                def step(self):
+                    return 0
+
+            class Derived(Base):
+                def run(self):
+                    return self.step()
+        """,
+    })
+    assert set(graph.callees("repro.m.Derived.run")) == {
+        "repro.m.Base.step"}
+
+
+def test_locals_typed_by_construction_resolve_method_calls(tmp_path):
+    graph = _graph(tmp_path, {
+        "m.py": """
+            class Store:
+                def put(self, x):
+                    self.x = x
+
+            def use():
+                s = Store()
+                s.put(1)
+
+            def use_with():
+                with Store() as s:
+                    s.put(2)
+        """,
+    })
+    assert "repro.m.Store.put" in graph.callees("repro.m.use")
+    assert "repro.m.Store.put" in graph.callees("repro.m.use_with")
+
+
+def test_state_access_facts(tmp_path):
+    graph = _graph(tmp_path, {
+        "state.py": """
+            TABLE = {}
+        """,
+        "m.py": """
+            from repro import state
+
+            CACHE = []
+
+            def writer(k, v):
+                state.TABLE[k] = v
+                CACHE.append(v)
+
+            def reader(k):
+                return state.TABLE.get(k), len(CACHE)
+
+            def shadow():
+                CACHE = [1]
+                return CACHE
+        """,
+    })
+    writer = graph.functions["repro.m.writer"]
+    reader = graph.functions["repro.m.reader"]
+    shadow = graph.functions["repro.m.shadow"]
+    assert ("repro.state", "TABLE") in writer.global_writes
+    assert ("repro.m", "CACHE") in writer.global_writes
+    assert ("repro.state", "TABLE") in reader.global_reads
+    assert ("repro.m", "CACHE") in reader.global_reads
+    # a local rebinding is not a global write
+    assert ("repro.m", "CACHE") not in shadow.global_writes
+
+
+def test_attr_reads_writes_and_lock_detection(tmp_path):
+    graph = _graph(tmp_path, {
+        "m.py": """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []
+
+                def put(self, x):
+                    with self._lock:
+                        self.items.append(x)
+
+                def peek(self):
+                    return self.items
+        """,
+    })
+    put = graph.functions["repro.m.Box.put"]
+    peek = graph.functions["repro.m.Box.peek"]
+    assert put.uses_lock and not peek.uses_lock
+    assert "items" in put.attr_writes
+    assert "items" in peek.attr_reads
+
+
+def test_value_references_are_refs_not_calls(tmp_path):
+    graph = _graph(tmp_path, {
+        "m.py": """
+            def work():
+                return 1
+
+            def dispatch(pool):
+                pool.submit(work)
+                runner = work
+                return runner
+        """,
+    })
+    dispatch = graph.functions["repro.m.dispatch"]
+    assert "repro.m.work" in dispatch.refs
+    assert "repro.m.work" not in graph.callees("repro.m.dispatch")
+    assert "repro.m.work" in graph.callees("repro.m.dispatch",
+                                           include_refs=True)
+
+
+def test_unparseable_module_is_skipped_not_fatal(tmp_path):
+    graph = _graph(tmp_path, {
+        "ok.py": """
+            def fine():
+                return 1
+        """,
+        "broken.py": """
+            def oops(:
+        """,
+    })
+    assert "repro.ok.fine" in graph.functions
+    assert "repro.broken" not in graph.modules

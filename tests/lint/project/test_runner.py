@@ -1,0 +1,157 @@
+"""analyze_project: cache, baseline, changed-scoping, suppressions."""
+
+from tests.lint.project.helpers import write_tree
+
+from repro.lint.project import (analyze_project, changed_modules,
+                                load_baseline, write_baseline)
+from repro.lint.project.cache import program_digest
+
+RACY = {
+    "serve/state.py": """
+        PENDING = []
+    """,
+    "serve/gateway.py": """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.serve import state
+
+        def bridge(job):
+            state.PENDING.append(job)
+
+        async def handle(job):
+            pool = ThreadPoolExecutor(max_workers=1)
+            pool.submit(bridge, job)
+            return len(state.PENDING)
+    """,
+}
+
+
+def test_analyze_reports_the_race_and_counts_modules(tmp_path):
+    report = analyze_project(write_tree(tmp_path, RACY))
+    assert [f.rule_id for f in report.findings] == ["CONC001"]
+    assert report.findings[0].symbol == "repro.serve.state.PENDING"
+    assert report.modules_analyzed == 4   # 2 inits + 2 modules
+    assert not report.clean
+
+
+def test_select_and_ignore_filter_passes(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    assert analyze_project(index, select=["DTT001"]).findings == []
+    assert analyze_project(index, ignore=["CONC001"]).findings == []
+    assert analyze_project(index, select=["CONC001"]).findings
+
+
+def test_cache_warm_hit_and_invalidation_on_edit(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    cache_dir = str(tmp_path / "cache")
+    cold = analyze_project(index, cache_dir=cache_dir)
+    warm = analyze_project(index, cache_dir=cache_dir)
+    assert not cold.from_cache and warm.from_cache
+    assert warm.findings == cold.findings
+    assert warm.program_digest == cold.program_digest
+
+    # any edit anywhere changes the program digest: full re-analysis
+    state = tmp_path / "repro" / "serve" / "state.py"
+    state.write_text(state.read_text() + "\nOTHER = 1\n")
+    index2 = write_tree(tmp_path, {})     # fresh index over same tree
+    after = analyze_project(index2, cache_dir=cache_dir)
+    assert not after.from_cache
+    assert after.program_digest != cold.program_digest
+
+
+def test_cache_is_bypassed_for_partial_runs(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    cache_dir = str(tmp_path / "cache")
+    analyze_project(index, cache_dir=cache_dir)
+    partial = analyze_project(index, cache_dir=cache_dir,
+                              select=["CONC001"])
+    assert not partial.from_cache
+
+
+def test_baseline_filters_and_reports_stale_entries(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    report = analyze_project(index)
+    bl_path = tmp_path / "baseline.json"
+    write_baseline(str(bl_path), report.findings)
+    baseline = load_baseline(str(bl_path))
+    again = analyze_project(index, baseline=baseline)
+    assert again.findings == [] and again.baselined == 1
+    assert again.clean
+
+    # fix the race -> the entry goes stale and the run is not clean
+    fixed = dict(RACY)
+    fixed["serve/gateway.py"] = """
+        from repro.serve import state
+
+        async def handle(job):
+            return len(state.PENDING)
+    """
+    tmp2 = tmp_path / "fixed"
+    index2 = write_tree(tmp2, fixed)
+    stale_run = analyze_project(index2,
+                                baseline=load_baseline(str(bl_path)))
+    assert stale_run.findings == []
+    assert len(stale_run.stale_baseline) == 1
+    assert not stale_run.clean
+
+
+def test_baseline_requires_justifications(tmp_path):
+    import json
+
+    import pytest
+
+    bl_path = tmp_path / "baseline.json"
+    bl_path.write_text(json.dumps({
+        "version": 1,
+        "entries": [{"rule": "CONC001", "path": "x.py",
+                     "symbol": "repro.x.Y", "justification": "  "}],
+    }))
+    with pytest.raises(ValueError, match="justification"):
+        load_baseline(str(bl_path))
+
+
+def test_baseline_matches_on_symbol_despite_line_drift(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    report = analyze_project(index)
+    bl_path = tmp_path / "baseline.json"
+    write_baseline(str(bl_path), report.findings)
+
+    # prepend lines: the finding moves, the symbol does not
+    state = tmp_path / "repro" / "serve" / "state.py"
+    state.write_text('"""Docstring pushing lines down."""\n\n\n'
+                     + state.read_text())
+    drifted = analyze_project(write_tree(tmp_path, {}),
+                              baseline=load_baseline(str(bl_path)))
+    assert drifted.clean
+
+
+def test_changed_modules_is_the_reverse_import_closure(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    state_path = str(tmp_path / "repro" / "serve" / "state.py")
+    mods = changed_modules(index, [state_path])
+    assert "repro.serve.state" in mods
+    assert "repro.serve.gateway" in mods      # imports state
+    assert changed_modules(index, ["README.md"]) == set()
+
+
+def test_restrict_modules_trims_reporting_not_analysis(tmp_path):
+    index = write_tree(tmp_path, RACY)
+    scoped = analyze_project(index,
+                             restrict_modules={"repro.serve.state"})
+    assert [f.rule_id for f in scoped.findings] == ["CONC001"]
+    none = analyze_project(index, restrict_modules=set())
+    assert none.findings == []
+
+
+def test_inline_pragma_suppresses_a_project_finding(tmp_path):
+    suppressed = dict(RACY)
+    suppressed["serve/state.py"] = """
+        PENDING = []  # lint: disable=CONC001 -- handoff audited
+    """
+    index = write_tree(tmp_path / "supp", suppressed)
+    registry: dict = {}
+    report = analyze_project(index, suppression_registry=registry)
+    assert report.findings == []
+    supp = next(s for path, s in registry.items()
+                if path.endswith("state.py"))
+    assert supp.unused() == []    # the pragma fired, so it is not dead

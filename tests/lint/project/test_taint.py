@@ -1,0 +1,53 @@
+"""Determinism taint: DTT001/DTT002 over the det fixture tree."""
+
+import pytest
+
+from tests.lint.project.helpers import (expected_sites, fixture_graph,
+                                        found_sites, run_pass)
+
+
+@pytest.fixture(scope="module")
+def det_graph():
+    return fixture_graph("det")
+
+
+def test_dtt001_flags_exactly_the_tagged_sources(det_graph):
+    findings = run_pass("DTT001", det_graph)
+    assert found_sites(findings, "det") == expected_sites("det", "DTT001")
+
+
+def test_dtt001_message_carries_the_chain_from_the_sim_root(det_graph):
+    findings = run_pass("DTT001", det_graph)
+    by_line = {f.line: f for f in findings}
+    jitter = next(f for f in findings
+                  if "random.Random() with no seed" in f.message)
+    assert "repro.sim.engine.run_scenario -> repro.obs.probes.jitter" \
+        in jitter.message
+    assert jitter.symbol == "repro.obs.probes.jitter"
+    assert by_line  # sanity: anchored at real source lines
+
+
+def test_dtt001_skips_same_function_global_draws(det_graph):
+    # engine.local_draw() calls random.random() directly: DET001's job,
+    # not the taint pass's (min_hops=1 for locally-covered sources)
+    findings = run_pass("DTT001", det_graph)
+    assert all(f.symbol != "repro.sim.engine.local_draw"
+               for f in findings)
+
+
+def test_dtt002_flags_exactly_the_tagged_sources(det_graph):
+    findings = run_pass("DTT002", det_graph)
+    assert found_sites(findings, "det") == expected_sites("det", "DTT002")
+
+
+def test_pragma_on_the_leaf_stops_the_taint(det_graph):
+    # probes.pinned_stamp carries a DET002 disable pragma; neither
+    # taint rule may resurface it
+    for rule in ("DTT001", "DTT002"):
+        assert all(f.symbol != "repro.obs.probes.pinned_stamp"
+                   for f in run_pass(rule, det_graph))
+
+
+def test_seeded_random_is_not_flagged(det_graph):
+    assert all(f.symbol != "repro.obs.probes.seeded_jitter"
+               for f in run_pass("DTT001", det_graph))

@@ -1,0 +1,72 @@
+"""Interprocedural unit inference: UNI001/UNI002 over the units tree."""
+
+import pytest
+
+from tests.lint.project.helpers import (expected_sites, fixture_graph,
+                                        found_sites, run_pass)
+
+from repro.lint.project.unitsflow import unit_of_identifier
+
+
+@pytest.fixture(scope="module")
+def units_graph():
+    return fixture_graph("units")
+
+
+def test_unit_of_identifier_uses_longest_suffix():
+    assert unit_of_identifier("rate_mbps") == "Mb/s"
+    assert unit_of_identifier("delay_ms") == "ms"
+    assert unit_of_identifier("delay_s") == "s"
+    assert unit_of_identifier("_s") is None          # bare suffix
+    assert unit_of_identifier("bus") is None
+
+
+def test_uni001_flags_exactly_the_tagged_call_sites(units_graph):
+    findings = run_pass("UNI001", units_graph)
+    assert found_sites(findings, "units") == expected_sites("units",
+                                                            "UNI001")
+    messages = " | ".join(f.message for f in findings)
+    assert "carries s but the parameter declares ms" in messages
+    assert "carries ms but the parameter declares s" in messages
+
+
+def test_uni002_flags_exactly_the_tagged_returns_and_assignments(
+        units_graph):
+    findings = run_pass("UNI002", units_graph)
+    assert found_sites(findings, "units") == expected_sites("units",
+                                                            "UNI002")
+
+
+def test_conversions_and_unknowns_stay_silent(units_graph):
+    for rule in ("UNI001", "UNI002"):
+        for f in run_pass(rule, units_graph):
+            assert f.symbol not in (
+                "repro.sim.flow.converts_correctly",
+                "repro.sim.flow.unknown_stays_silent"), f.render()
+
+
+def test_api_annotations_type_the_real_conversion_helpers(tmp_path):
+    from tests.lint.project.helpers import write_tree
+
+    from repro.lint.project import ProjectGraph
+
+    index = write_tree(tmp_path, {
+        "sim/units.py": """
+            def cell_time(rate_mbps):
+                return 424.0 / (rate_mbps * 1e6)
+        """,
+        "sim/user.py": """
+            from repro.sim.units import cell_time
+
+            def takes_ms(gap_ms):
+                return gap_ms
+
+            def caller():
+                return takes_ms(cell_time(155.0))   # violation UNI001
+        """,
+    })
+    graph = ProjectGraph(index)
+    findings = run_pass("UNI001", graph)
+    assert len(findings) == 1
+    assert "carries s but the parameter declares ms" \
+        in findings[0].message
