@@ -180,6 +180,21 @@ class OutputPort(CellSink):
         return units.mbps_to_cells_per_sec(self.rate_mbps)
 
     # ------------------------------------------------------------------
+    def set_service_deduction(self, rate_mbps: float) -> None:
+        """Reserve ``rate_mbps`` of the line for traffic outside the
+        cell model (the fluid background aggregate in hybrid mode).
+
+        The port keeps serving its own queue at the residual rate,
+        floored at 5% of the line so a background burst cannot stall
+        the foreground entirely.  Takes effect from the next service
+        start — in-flight serialization is never preempted.
+        """
+        residual = self.rate_mbps - rate_mbps
+        floor = 0.05 * self.rate_mbps
+        if residual < floor:
+            residual = floor
+        self.cell_time = units.cell_time(residual)
+
     def receive(self, cell: Cell) -> None:
         """Cell routed to this port by the switch."""
         self.arrivals += 1

@@ -270,6 +270,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return obs_cli.run(args)
 
 
+def _cmd_fluid(args: argparse.Namespace) -> int:
+    # imported here so `repro list/atm/...` never pays for the fluid tier
+    from repro.fluid import cli as fluid_cli
+
+    return fluid_cli.run(args)
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     # imported here so `repro list/atm/...` never pays for the executor
     from repro.exec import cli as exec_cli
@@ -372,6 +379,14 @@ def build_parser() -> argparse.ArgumentParser:
                     "manifests (see docs/OBSERVABILITY.md)")
     obs_cli.add_arguments(obs)
     obs.set_defaults(fn=_cmd_obs)
+
+    from repro.fluid import cli as fluid_cli
+
+    fluid = sub.add_parser(
+        "fluid", help="run, validate, and benchmark the fluid/hybrid "
+                      "simulation tier (see docs/FLUID.md)")
+    fluid_cli.add_arguments(fluid)
+    fluid.set_defaults(fn=_cmd_fluid)
 
     from repro.exec import cli as exec_cli
 

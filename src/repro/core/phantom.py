@@ -42,6 +42,12 @@ class PhantomAlgorithm(PortAlgorithm):
         self.timer: PeriodicTimer | None = None
         #: The "MACR" series in the paper's figures.
         self.macr_probe = Probe("macr")
+        #: Hybrid coupling hook: when set, called once per interval and
+        #: must return the *cells* of demand contributed by traffic the
+        #: port never saw as cells (the fluid background aggregate), so
+        #: MACR measures the combined offered load.  ``None`` (the
+        #: default) is the pure-packet path and costs one is-None check.
+        self.demand_hook = None
         # trace hook; captured in on_attach (no sim yet), None-gated on
         # the "macr" category (OBS001)
         self._tracer = None
@@ -60,6 +66,9 @@ class PhantomAlgorithm(PortAlgorithm):
                         else None)
 
     def _on_interval(self, _timer: PeriodicTimer) -> None:
+        hook = self.demand_hook
+        if hook is not None:
+            self.meter.cells_this_interval += hook()
         residual = self.meter.close_interval()
         macr = self.filter.update(residual)
         self.macr_probe.record(self.sim.now, macr)

@@ -29,6 +29,8 @@ from repro.baselines.erica import EricaParams
 from repro.core import (BinaryPhantomAlgorithm, PhantomAlgorithm,
                         PhantomParams)
 from repro.exec.registry import register_scenario
+from repro.fluid import hybrid as fluid_hybrid
+from repro.fluid import scenarios as fluid_scenarios
 from repro.scenarios import atm as atm_scenarios
 from repro.scenarios import tcp as tcp_scenarios
 from repro.scenarios.results import AtmRun
@@ -217,6 +219,92 @@ def atm_weighted(algorithm: str = "phantom",
 
 
 # ----------------------------------------------------------------------
+# fluid entries
+# ----------------------------------------------------------------------
+def _phantom_params(phantom_params: Mapping[str, Any] | None):
+    """``phantom=`` kwarg for fluid builders, or nothing for defaults."""
+    if phantom_params is None:
+        return {}
+    return {"phantom": PhantomParams(**phantom_params)}
+
+
+def fluid_staggered(n_sessions: int = 2, stagger: float = 0.03,
+                    duration: float = 0.25, link_rate: float = 150.0,
+                    flows_per_session: int = 1, mode: str = "er",
+                    use_ni: bool = False, ni_fraction: float = 0.8,
+                    rm_loss: float = 0.0,
+                    session_params: Mapping[str, Any] | None = None,
+                    phantom_params: Mapping[str, Any] | None = None):
+    return fluid_scenarios.staggered_start(
+        n_sessions=n_sessions, stagger=stagger, duration=duration,
+        link_rate=link_rate, flows_per_session=flows_per_session,
+        mode=mode, use_ni=use_ni, ni_fraction=ni_fraction,
+        rm_loss=rm_loss, **_abr_params(session_params),
+        **_phantom_params(phantom_params))
+
+
+def fluid_onoff(greedy: int = 1, bursty: int = 2, on_time: float = 0.02,
+                off_time: float = 0.02, duration: float = 0.4,
+                link_rate: float = 150.0, flows_per_session: int = 1,
+                seed: int | None = 7,
+                session_params: Mapping[str, Any] | None = None,
+                phantom_params: Mapping[str, Any] | None = None):
+    return fluid_scenarios.on_off(
+        greedy=greedy, bursty=bursty, on_time=on_time,
+        off_time=off_time, duration=duration, link_rate=link_rate,
+        flows_per_session=flows_per_session, seed=seed,
+        **_abr_params(session_params), **_phantom_params(phantom_params))
+
+
+def fluid_parking(hops: int = 3, duration: float = 0.3,
+                  link_rate: float = 150.0, flows_per_session: int = 1,
+                  session_params: Mapping[str, Any] | None = None,
+                  phantom_params: Mapping[str, Any] | None = None):
+    return fluid_scenarios.parking_lot(
+        hops=hops, duration=duration, link_rate=link_rate,
+        flows_per_session=flows_per_session,
+        **_abr_params(session_params), **_phantom_params(phantom_params))
+
+
+def fluid_transient(duration: float = 0.4, join_at: float = 0.1,
+                    leave_at: float = 0.25, link_rate: float = 150.0,
+                    flows_per_session: int = 1,
+                    session_params: Mapping[str, Any] | None = None,
+                    phantom_params: Mapping[str, Any] | None = None):
+    return fluid_scenarios.transient(
+        duration=duration, join_at=join_at, leave_at=leave_at,
+        link_rate=link_rate, flows_per_session=flows_per_session,
+        **_abr_params(session_params), **_phantom_params(phantom_params))
+
+
+def fluid_many(cohorts: int = 1000, flows_per_cohort: int = 1000,
+               greedy: int = 100, background_load: float = 0.7,
+               duration: float = 1.0, link_rate: float = 10000.0,
+               record_cohorts: bool = False,
+               session_params: Mapping[str, Any] | None = None,
+               phantom_params: Mapping[str, Any] | None = None):
+    return fluid_scenarios.many_flows(
+        cohorts=cohorts, flows_per_cohort=flows_per_cohort,
+        greedy=greedy, background_load=background_load,
+        duration=duration, link_rate=link_rate,
+        record_cohorts=record_cohorts, **_abr_params(session_params),
+        **_phantom_params(phantom_params))
+
+
+def fluid_hybrid_e01(foreground: int = 2, background: int = 500,
+                     background_demand_mbps: float = 0.2,
+                     stagger: float = 0.03, duration: float = 0.25,
+                     link_rate: float = 150.0,
+                     session_params: Mapping[str, Any] | None = None,
+                     phantom_params: Mapping[str, Any] | None = None):
+    return fluid_hybrid.hybrid_staggered(
+        foreground=foreground, background=background,
+        background_demand_mbps=background_demand_mbps, stagger=stagger,
+        duration=duration, link_rate=link_rate,
+        **_abr_params(session_params), **_phantom_params(phantom_params))
+
+
+# ----------------------------------------------------------------------
 # TCP entries
 # ----------------------------------------------------------------------
 def tcp_rtt(policy: str = "selective-discard",
@@ -299,6 +387,21 @@ register_scenario("atm.background", atm_background, kind="atm",
 register_scenario("atm.weighted", atm_weighted, kind="atm",
                   deps=("repro.atm", "repro.scenarios.results"),
                   param_deps=atm_param_deps)
+
+_FLUID_DEPS = ("repro.fluid.scenarios",)
+
+register_scenario("fluid.staggered", fluid_staggered, kind="fluid",
+                  deps=_FLUID_DEPS)
+register_scenario("fluid.onoff", fluid_onoff, kind="fluid",
+                  deps=_FLUID_DEPS)
+register_scenario("fluid.parking", fluid_parking, kind="fluid",
+                  deps=_FLUID_DEPS)
+register_scenario("fluid.transient", fluid_transient, kind="fluid",
+                  deps=_FLUID_DEPS)
+register_scenario("fluid.many", fluid_many, kind="fluid",
+                  deps=_FLUID_DEPS)
+register_scenario("fluid.hybrid_e01", fluid_hybrid_e01, kind="fluid",
+                  deps=("repro.fluid.hybrid",))
 
 register_scenario("tcp.rtt", tcp_rtt, kind="tcp",
                   deps=_TCP_DEPS, param_deps=tcp_param_deps)

@@ -206,6 +206,12 @@ def _make_pool(jobs: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(max_workers=jobs)
 
 
+def _duration_hint(spec: TaskSpec) -> float:
+    """Simulated-duration proxy for scheduling (0.0 when unknown)."""
+    value = spec.params.get("duration", 0.0)
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
 def _run_parallel(to_run, *, jobs: int, timeout: float | None,
                   retries: int):
     pool = _make_pool(jobs)
@@ -229,7 +235,12 @@ def _run_parallel(to_run, *, jobs: int, timeout: float | None,
                           error="executor pool could not be (re)created")
 
     try:
-        for i, spec, fingerprint in to_run:
+        # longest-first submission: with few workers and unequal tasks
+        # the makespan is set by whichever long task starts last, so
+        # order by the spec's simulated duration (the dominant length
+        # proxy) descending; result order is restored by index upstream
+        for i, spec, fingerprint in sorted(
+                to_run, key=lambda item: -_duration_hint(item[1])):
             failed = submit(i, spec, fingerprint, 1)
             if failed is not None:
                 yield i, failed

@@ -28,7 +28,8 @@ class ScenarioEntry:
     #: when the signature accepts one) and returns a run handle
     #: (:class:`~repro.scenarios.results.AtmRun` or ``TcpRun``).
     fn: Callable[..., Any]
-    #: ``"atm"`` or ``"tcp"`` — selects the standard metric set.
+    #: ``"atm"``, ``"tcp"``, or ``"fluid"`` — selects the standard
+    #: metric set (fluid runs share the ATM rate/fairness/queue set).
     kind: str
     #: Root modules whose transitive ``repro``-internal import closure
     #: feeds the task fingerprint (see :mod:`repro.exec.fingerprint`).
@@ -67,8 +68,9 @@ def register_scenario(name: str, fn: Callable[..., Any], *, kind: str,
                       param_deps: Callable[[dict], tuple[str, ...]]
                       | None = None) -> ScenarioEntry:
     """Register ``fn`` as the entry point for scenario ``name``."""
-    if kind not in ("atm", "tcp"):
-        raise ValueError(f"kind must be 'atm' or 'tcp', got {kind!r}")
+    if kind not in ("atm", "tcp", "fluid"):
+        raise ValueError(
+            f"kind must be 'atm', 'tcp', or 'fluid', got {kind!r}")
     _check_module_level(fn, f"scenario {name!r} entry point")
     if param_deps is not None:
         _check_module_level(param_deps, f"scenario {name!r} param_deps")

@@ -125,15 +125,22 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
 
     try:
         probes, counters = run_parts(run)
-        metrics = (_metrics_atm(run) if entry.kind == "atm"
-                   else _metrics_tcp(run))
-        sim = run.net.sim
+        # fluid runs expose the same rate/fairness/queue vocabulary as
+        # ATM runs, so they share the reducer
+        metrics = (_metrics_tcp(run) if entry.kind == "tcp"
+                   else _metrics_atm(run))
+        # fluid networks have no event kernel: the interval counter is
+        # their clock and their "event" count
+        sim = getattr(run.net, "sim", None)
+        now = repr(sim.now) if sim is not None else repr(run.net.now)
+        events = (sim.executed_events if sim is not None
+                  else run.net.steps)
         return {
             "task_id": spec.task_id,
             "scenario": spec.scenario,
             "status": "ok",
-            "now": repr(sim.now),
-            "executed_events": sim.executed_events,
+            "now": now,
+            "executed_events": events,
             "metrics": metrics,
             "counters": counters,
             "probe_digests": {name: probe_digest(probe)

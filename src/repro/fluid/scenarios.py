@@ -1,0 +1,196 @@
+"""Fluid scenario builders — twins of :mod:`repro.scenarios.atm`.
+
+Each builder mirrors its packet counterpart's topology, session names,
+start times and defaults, so the validation suite can run both and
+compare steady-state results name-for-name.  The extra knobs are the
+fluid tier's own: ``flows_per_session`` scales every session into a
+cohort of identical flows at no extra stepping cost, ``mode`` switches
+the source law to binary CI marking, and ``rm_loss`` drops a fraction
+of the feedback.
+"""
+
+from __future__ import annotations
+
+from repro.atm.params import AbrParams, PAPER_PARAMS
+from repro.core.params import DEFAULT_PHANTOM_PARAMS, PhantomParams
+from repro.fluid.model import FluidNetwork
+from repro.fluid.results import FluidRun
+
+#: Grant floor disabled: with thousands of flows, holding every silent
+#: source at 5% of the line rate would alone oversubscribe the trunk.
+#: The floor exists to keep packet RM feedback alive through transients,
+#: which the fluid model does not need.
+MANY_FLOW_PHANTOM = PhantomParams(grant_floor_fraction=0.0)
+
+
+def staggered_start(n_sessions: int = 2,
+                    stagger: float = 0.03,
+                    duration: float = 0.25,
+                    link_rate: float = 150.0,
+                    flows_per_session: int = 1,
+                    params: AbrParams = PAPER_PARAMS,
+                    phantom: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                    mode: str = "er",
+                    use_ni: bool = False,
+                    ni_fraction: float = 0.8,
+                    rm_loss: float = 0.0,
+                    tracer=None,
+                    run: bool = True) -> FluidRun:
+    """n greedy cohorts joining one bottleneck ``stagger`` seconds apart.
+
+    The fluid twin of the paper's introductory configuration (E01).
+    """
+    if n_sessions < 1:
+        raise ValueError(f"need >= 1 session, got {n_sessions!r}")
+    net = FluidNetwork(phantom=phantom, mode=mode, use_ni=use_ni,
+                       ni_fraction=ni_fraction, tracer=tracer)
+    trunk = net.add_trunk("S1->S2", capacity_mbps=link_rate)
+    for i in range(n_sessions):
+        net.add_cohort(f"s{i}", route=["S1->S2"],
+                       count=flows_per_session, params=params,
+                       start=i * stagger, rm_loss=rm_loss)
+    result = FluidRun(net=net, bottleneck=trunk, duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def on_off(greedy: int = 1,
+           bursty: int = 2,
+           on_time: float = 0.02,
+           off_time: float = 0.02,
+           duration: float = 0.4,
+           link_rate: float = 150.0,
+           flows_per_session: int = 1,
+           params: AbrParams = PAPER_PARAMS,
+           phantom: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+           seed: int | None = 7,
+           tracer=None,
+           run: bool = True) -> FluidRun:
+    """Greedy cohorts sharing a trunk with on/off cohorts (E02 twin).
+
+    ``seed=None`` gives deterministic fixed periods, as in the packet
+    builder; otherwise phases are exponential with the given means,
+    drawn from per-cohort named streams in the packet driver's order.
+    """
+    net = FluidNetwork(phantom=phantom, seed=seed, tracer=tracer)
+    trunk = net.add_trunk("S1->S2", capacity_mbps=link_rate)
+    for i in range(greedy):
+        net.add_cohort(f"greedy{i}", route=["S1->S2"],
+                       count=flows_per_session, params=params)
+    for i in range(bursty):
+        net.add_cohort(f"onoff{i}", route=["S1->S2"],
+                       count=flows_per_session, params=params,
+                       on_time=on_time, off_time=off_time)
+    result = FluidRun(net=net, bottleneck=trunk, duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def parking_lot(hops: int = 3,
+                duration: float = 0.3,
+                link_rate: float = 150.0,
+                flows_per_session: int = 1,
+                params: AbrParams = PAPER_PARAMS,
+                phantom: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+                tracer=None,
+                run: bool = True) -> FluidRun:
+    """The multi-hop "beat-down" configuration (E05 twin).
+
+    One long cohort crosses all trunks; each trunk also carries one
+    single-hop cross cohort.  The per-group grant is the min over the
+    route, so the long cohort gets the true-bottleneck grant — no
+    beat-down, as the paper claims for Phantom.
+    """
+    if hops < 2:
+        raise ValueError(f"need >= 2 hops, got {hops!r}")
+    net = FluidNetwork(phantom=phantom, tracer=tracer)
+    names = [f"S{i}->S{i + 1}" for i in range(1, hops + 1)]
+    for name in names:
+        net.add_trunk(name, capacity_mbps=link_rate)
+    net.add_cohort("long", route=names, count=flows_per_session,
+                   params=params)
+    for i, name in enumerate(names):
+        net.add_cohort(f"cross{i}", route=[name],
+                       count=flows_per_session, params=params)
+    result = FluidRun(net=net, bottleneck=net.trunks[names[0]],
+                      duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def transient(duration: float = 0.4,
+              join_at: float = 0.1,
+              leave_at: float = 0.25,
+              link_rate: float = 150.0,
+              flows_per_session: int = 1,
+              params: AbrParams = PAPER_PARAMS,
+              phantom: PhantomParams = DEFAULT_PHANTOM_PARAMS,
+              tracer=None,
+              run: bool = True) -> FluidRun:
+    """A base cohort runs throughout; a visitor joins, then departs."""
+    if not 0 < join_at < leave_at < duration:
+        raise ValueError("need 0 < join_at < leave_at < duration")
+    net = FluidNetwork(phantom=phantom, tracer=tracer)
+    trunk = net.add_trunk("S1->S2", capacity_mbps=link_rate)
+    net.add_cohort("base", route=["S1->S2"], count=flows_per_session,
+                   params=params)
+    visitor = net.add_cohort("visitor", route=["S1->S2"],
+                             count=flows_per_session, params=params,
+                             start=join_at)
+    net.at(leave_at, lambda: visitor.set_active(False))
+    result = FluidRun(net=net, bottleneck=trunk, duration=duration)
+    if run:
+        net.run(until=duration)
+    return result
+
+
+def many_flows(cohorts: int = 1000,
+               flows_per_cohort: int = 1000,
+               greedy: int = 100,
+               background_load: float = 0.7,
+               duration: float = 1.0,
+               link_rate: float = 10000.0,
+               params: AbrParams = PAPER_PARAMS,
+               phantom: PhantomParams = MANY_FLOW_PHANTOM,
+               record_cohorts: bool = False,
+               tracer=None,
+               run: bool = True) -> FluidRun:
+    """The scale scenario: a million-flow trunk with a realistic mix.
+
+    ``cohorts × flows_per_cohort`` demand-limited background flows
+    carry ``background_load`` of the trunk between them, while
+    ``greedy`` individual greedy flows exercise Phantom's convergence
+    loop over the leftover capacity.  Defaults put 1,000,100 flows on
+    one 10 Gb/s trunk.
+
+    Why the mix rather than a million greedy flows: with TM 4.0 paper
+    constants the per-RM additive step AIR·Nrm = 42.5 Mb/s dwarfs a
+    millibit fair share, so a million greedy sources form a mean-field
+    relaxation oscillator (each Trm-backstop RM re-floods the trunk
+    40x over) — honest dynamics of those constants, not a model
+    artefact.  Real million-user trunks are demand-limited aggregates;
+    the greedy minority is what the control loop actually steers, and
+    it converges near the analytic share f·(C − background)/(n·f + 1).
+    Cohort probe recording is off by default so the run measures the
+    stepper, not probe appends.
+    """
+    if not 0.0 <= background_load < 1.0:
+        raise ValueError(
+            f"background_load must be in [0, 1), got {background_load!r}")
+    net = FluidNetwork(phantom=phantom, record_cohorts=record_cohorts,
+                       tracer=tracer)
+    trunk = net.add_trunk("T1", capacity_mbps=link_rate)
+    flows = cohorts * flows_per_cohort
+    demand = background_load * link_rate / flows if flows else 0.0
+    for i in range(cohorts):
+        net.add_cohort(f"bg{i}", route=["T1"], count=flows_per_cohort,
+                       params=params, demand_mbps=demand)
+    for i in range(greedy):
+        net.add_cohort(f"fg{i}", route=["T1"], count=1, params=params)
+    result = FluidRun(net=net, bottleneck=trunk, duration=duration)
+    if run:
+        net.run(until=duration)
+    return result

@@ -47,6 +47,11 @@ API_UNITS: dict[str, tuple[dict[str, str], str | None]] = {
     "repro.sim.units.packets_per_sec": ({"rate_mbps": "Mb/s",
                                          "size_bytes": "bytes"},
                                         "packets/s"),
+    # the fluid tier's per-Δt rate<->mass conversions
+    "repro.fluid.stepper.rate_cells_per_interval": (
+        {"rate_mbps": "Mb/s", "interval_s": "s"}, "cells"),
+    "repro.fluid.stepper.cells_to_mbps": (
+        {"cells": "cells", "interval_s": "s"}, "Mb/s"),
 }
 
 

@@ -1,0 +1,94 @@
+"""Fluid-tier rules (FLD*).
+
+The fluid tier's entire value is its cost model: stepping rate vectors
+per Δt with no event kernel and no per-cell work.  That property is a
+*layering* fact — the moment a core fluid module imports the event
+engine or the packet stack, per-flow cost can leak back in silently
+(constructing a ``Simulator``, scheduling timers, touching cell
+objects).  FLD001 pins the boundary statically.
+
+The coupling modules are exempt by name: ``hybrid`` exists to bridge
+the two tiers, and ``cli``/``validate``/``bench`` drive packet runs for
+comparison — none of them sit on the per-Δt path.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Exact module names banned in core fluid modules.  ``repro.sim`` (the
+#: package itself) is banned because its ``__init__`` re-exports the
+#: engine; the submodules a pure rate model legitimately needs
+#: (``probe``, ``rng``, ``units``) are imported directly.
+BANNED_EXACT = frozenset({"repro.sim"})
+
+#: Module prefixes banned in core fluid modules: the event kernel and
+#: both packet stacks.
+BANNED_PREFIXES = ("repro.sim.engine", "repro.sim.timers",
+                   "repro.atm", "repro.tcp")
+
+#: Exact modules carved out of the banned prefixes: parameter records
+#: are shared constants, not packet machinery.
+ALLOWED_EXACT = frozenset({"repro.atm.params"})
+
+#: File stems (module basenames) exempt from FLD001 — the sanctioned
+#: bridging/comparison surfaces of the fluid package.
+EXEMPT_STEMS = frozenset({"hybrid", "cli", "validate", "bench"})
+
+
+@register
+class FluidLayeringRule(Rule):
+    """FLD001: core fluid module imports the event kernel or packet stack.
+
+    A core fluid module (anything under ``repro/fluid`` other than the
+    exempt bridge/driver modules) must step on rate vectors alone.
+    Importing the simulator engine, its timers, or the ``repro.atm`` /
+    ``repro.tcp`` packet stacks re-introduces per-cell machinery on the
+    fixed-cost path; only ``repro.atm.params`` (shared parameter
+    records) and the scalar ``repro.sim`` submodules (``probe``,
+    ``rng``, ``units``) are part of the fluid tier's contract.
+    """
+
+    id = "FLD001"
+    severity = Severity.ERROR
+    summary = ("core fluid module imports the event kernel or a packet "
+               "stack; the fluid tier must stay rate-only")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.in_subpackage("fluid"):
+            return False
+        return PurePath(ctx.path).stem not in EXEMPT_STEMS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                modules = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                modules = [node.module]
+            else:
+                continue
+            for module in modules:
+                if self._banned(module):
+                    yield self.finding(
+                        ctx, node,
+                        f"import of {module!r} pulls event-kernel or "
+                        "packet-stack machinery onto the fluid tier's "
+                        "fixed-cost path; keep core fluid modules on "
+                        "rate vectors (repro.atm.params and the scalar "
+                        "repro.sim submodules are the allowed "
+                        "exceptions)")
+
+    @staticmethod
+    def _banned(module: str) -> bool:
+        if module in ALLOWED_EXACT:
+            return False
+        if module in BANNED_EXACT:
+            return True
+        return any(module == prefix or module.startswith(prefix + ".")
+                   for prefix in BANNED_PREFIXES)

@@ -237,15 +237,24 @@ def _sample(name: str, key: _LabelKey, value: float) -> str:
 # ----------------------------------------------------------------------
 def registry_from_run(run: Any) -> MetricsRegistry:
     """Build a registry from an executed scenario run handle."""
+    # imported here, not at module top: the fluid tier is optional for
+    # metrics consumers and must not become an obs-wide dependency
+    from repro.fluid.results import FluidRun, HybridRun
+
     registry = MetricsRegistry()
     if isinstance(run, AtmRun):
         _register_atm(registry, run)
     elif isinstance(run, TcpRun):
         _register_tcp(registry, run)
+    elif isinstance(run, HybridRun):
+        _register_atm(registry, run.atm)
+        _register_fluid(registry, run.fluid)
+    elif isinstance(run, FluidRun):
+        _register_fluid(registry, run)
     else:
         raise TypeError(
             f"unsupported run handle {type(run).__name__}; "
-            "expected AtmRun or TcpRun")
+            "expected AtmRun, TcpRun, FluidRun, or HybridRun")
     return registry
 
 
@@ -285,6 +294,32 @@ def _register_atm(registry: MetricsRegistry, run: AtmRun) -> None:
     if macr_probe is not None:
         registry.register_probe("repro_macr_mbps", macr_probe,
                                 port=run.bottleneck.name)
+
+
+def _register_fluid(registry: MetricsRegistry, run: Any) -> None:
+    # fluid networks have no event kernel: the interval counter is both
+    # clock source and "event" count (distinct names keep a hybrid
+    # run's packet kernel metrics untouched)
+    registry.gauge("repro_fluid_time_seconds").set(run.net.now)
+    registry.counter("repro_fluid_steps_total").inc(run.net.steps)
+    for name, trunk in sorted(run.net.trunks.items()):
+        registry.gauge("repro_fluid_macr_mbps", trunk=name).set(
+            trunk.filter.macr)
+        registry.gauge("repro_fluid_grant_mbps", trunk=name).set(
+            trunk.grant_now)
+        registry.register_probe("repro_fluid_trunk_queue_cells",
+                                trunk.queue_probe, trunk=name)
+        registry.register_probe("repro_fluid_offered_mbps",
+                                trunk.offered_probe, trunk=name)
+    for cohort in run.net.cohorts:
+        registry.gauge("repro_fluid_flows", cohort=cohort.name).set(
+            cohort.count)
+        registry.gauge("repro_fluid_acr_mbps", cohort=cohort.name).set(
+            cohort.acr)
+        probe = cohort.rate_probe
+        if len(probe):
+            registry.register_probe("repro_fluid_cohort_rate_mbps",
+                                    probe, cohort=cohort.name)
 
 
 def _register_tcp(registry: MetricsRegistry, run: TcpRun) -> None:

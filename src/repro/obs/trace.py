@@ -38,7 +38,7 @@ TRACE_VERSION = 1
 #: before the first dot).  ``Tracer(categories=...)`` validates against
 #: this set so a typo disables nothing silently.
 CATEGORIES = frozenset(
-    {"engine", "macr", "port", "switch", "router", "tcp"})
+    {"engine", "fluid", "macr", "port", "switch", "router", "tcp"})
 
 
 class Tracer:

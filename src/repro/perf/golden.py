@@ -29,6 +29,7 @@ import json
 from array import array
 from typing import Any
 
+from repro.fluid.results import FluidRun, HybridRun
 from repro.perf.workloads import WORKLOADS
 from repro.scenarios.results import AtmRun, TcpRun
 from repro.sim.probe import Probe
@@ -123,6 +124,37 @@ def tcp_parts(run: TcpRun) -> tuple[dict, dict]:
     return probes, counters
 
 
+def fluid_parts(run: FluidRun) -> tuple[dict, dict]:
+    probes: dict[str, Probe] = {}
+    counters: dict[str, Any] = {}
+    for name, trunk in sorted(run.net.trunks.items()):
+        probes[trunk.macr_probe.name] = trunk.macr_probe
+        probes[trunk.queue_probe.name] = trunk.queue_probe
+        probes[trunk.offered_probe.name] = trunk.offered_probe
+        counters[f"{name}.queue_final"] = repr(trunk.queue_cells)
+        counters[f"{name}.macr_final"] = repr(trunk.filter.macr)
+    for cohort in run.net.cohorts:
+        if len(cohort.rate_probe):
+            probes[cohort.rate_probe.name] = cohort.rate_probe
+        counters[f"{cohort.name}.acr_final"] = repr(cohort.acr)
+    counters["steps"] = run.net.steps
+    return probes, counters
+
+
+def hybrid_parts(run: HybridRun) -> tuple[dict, dict]:
+    """Packet foreground and fluid background, side by side.
+
+    Probe names never collide: the coupled fluid trunks carry a
+    ``:fluid`` suffix by convention (see
+    :func:`repro.fluid.hybrid.hybrid_staggered`).
+    """
+    probes, counters = atm_parts(run.atm)
+    fluid_probes, fluid_counters = fluid_parts(run.fluid)
+    probes.update(fluid_probes)
+    counters.update(fluid_counters)
+    return probes, counters
+
+
 def run_parts(run: Any) -> tuple[dict, dict]:
     """(probes by name, domain counters) for any supported run handle.
 
@@ -133,19 +165,26 @@ def run_parts(run: Any) -> tuple[dict, dict]:
         return atm_parts(run)
     if isinstance(run, TcpRun):
         return tcp_parts(run)
+    if isinstance(run, HybridRun):
+        return hybrid_parts(run)
+    if isinstance(run, FluidRun):
+        return fluid_parts(run)
     raise TypeError(f"unsupported run handle {type(run).__name__}")
 
 
 def trace_from_run(name: str, scale: float, run: Any) -> dict[str, Any]:
     """Build the golden trace dict for an executed workload run."""
     probes, counters = run_parts(run)
-    sim = run.net.sim
+    # fluid runs have no event kernel; their clock is the step counter
+    sim = getattr(run.net, "sim", None)
+    now = repr(sim.now) if sim is not None else repr(run.net.now)
+    events = sim.executed_events if sim is not None else run.net.steps
     return {
         "version": TRACE_VERSION,
         "workload": name,
         "scale": scale,
-        "now": repr(sim.now),
-        "executed_events": sim.executed_events,
+        "now": now,
+        "executed_events": events,
         "counters": counters,
         "probes": {pname: probe_digest(p)
                    for pname, p in sorted(probes.items())},

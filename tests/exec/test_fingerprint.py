@@ -129,13 +129,18 @@ ATM = TaskSpec(task_id="a", scenario="atm.staggered",
 TCP = TaskSpec(task_id="t", scenario="tcp.rtt", params={"duration": 1.0})
 CAPC = TaskSpec(task_id="c", scenario="atm.staggered",
                 params={"algorithm": "capc", "duration": 0.1})
+FLUID = TaskSpec(task_id="f", scenario="fluid.staggered",
+                 params={"duration": 0.1})
+HYBRID = TaskSpec(task_id="h", scenario="fluid.hybrid_e01",
+                  params={"duration": 0.1})
 
 
 def _fingerprints(root):
     index = SourceIndex(root=root)
     return {name: task_fingerprint(spec, index=index)
             for name, spec in (("atm", ATM), ("tcp", TCP),
-                               ("capc", CAPC))}
+                               ("capc", CAPC), ("fluid", FLUID),
+                               ("hybrid", HYBRID))}
 
 
 def test_fingerprint_is_deterministic(copied_tree):
@@ -175,6 +180,28 @@ def test_algorithm_edit_invalidates_only_tasks_that_chose_it(copied_tree):
     assert after["capc"] != before["capc"]
     assert after["atm"] == before["atm"]    # phantom task unaffected
     assert after["tcp"] == before["tcp"]
+
+
+def test_fluid_stepper_edit_never_touches_packet_tasks(copied_tree):
+    before = _fingerprints(copied_tree)
+    with (copied_tree / "fluid" / "stepper.py").open("a") as fh:
+        fh.write("\n# touched by the invalidation test\n")
+    after = _fingerprints(copied_tree)
+    assert after["fluid"] != before["fluid"]
+    assert after["hybrid"] != before["hybrid"]  # hybrid embeds the stepper
+    assert after["atm"] == before["atm"]
+    assert after["capc"] == before["capc"]
+    assert after["tcp"] == before["tcp"]
+
+
+def test_hybrid_edit_invalidates_only_hybrid(copied_tree):
+    before = _fingerprints(copied_tree)
+    with (copied_tree / "fluid" / "hybrid.py").open("a") as fh:
+        fh.write("\n# touched by the invalidation test\n")
+    after = _fingerprints(copied_tree)
+    assert after["hybrid"] != before["hybrid"]
+    assert after["fluid"] == before["fluid"]   # pure-fluid tasks spared
+    assert after["atm"] == before["atm"]
 
 
 def test_engine_edit_invalidates_everything(copied_tree):

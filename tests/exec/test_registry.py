@@ -28,13 +28,14 @@ def test_builtin_entries_are_registered():
     assert {"atm.staggered", "atm.onoff", "atm.rtt", "atm.parking",
             "atm.transient", "atm.background", "atm.weighted",
             "tcp.rtt", "tcp.parking", "tcp.many", "tcp.vegas",
-            "tcp.mixed", "tcp.twoway"} <= names
+            "tcp.mixed", "tcp.twoway", "fluid.staggered", "fluid.onoff",
+            "fluid.parking", "fluid.many", "fluid.hybrid_e01"} <= names
 
 
 def test_every_builtin_entry_is_importable_and_kinded():
     import importlib
     for name, entry in all_scenarios().items():
-        assert entry.kind in ("atm", "tcp")
+        assert entry.kind in ("atm", "tcp", "fluid")
         assert entry.kind == name.split(".", 1)[0]
         module = importlib.import_module(entry.fn.__module__)
         assert getattr(module, entry.fn.__name__) is entry.fn
@@ -76,6 +77,13 @@ def test_register_rejects_unimportable_callables(scratch_registry):
 def test_register_rejects_bad_kind(scratch_registry):
     with pytest.raises(ValueError, match="kind"):
         register_scenario("x.kind", module_level_entry, kind="router")
+
+
+def test_register_accepts_fluid_kind(scratch_registry):
+    entry = register_scenario("x.fluid", module_level_entry,
+                              kind="fluid")
+    assert get_scenario("x.fluid") is entry
+    assert entry.kind == "fluid"
 
 
 def test_register_accepts_module_level_fn(scratch_registry):

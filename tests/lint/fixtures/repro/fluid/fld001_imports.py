@@ -1,0 +1,22 @@
+"""FLD001 fixture: event-kernel/packet imports in a core fluid module.
+
+Flagged lines are tagged; the allowed scalar imports and the pragma'd
+twin must stay silent.
+"""
+
+from repro.sim import Simulator  # violation
+from repro.sim.engine import Simulator as Engine  # violation
+from repro.sim.timers import PeriodicTimer  # violation
+from repro.atm import AtmNetwork  # violation
+from repro.atm.port import OutputPort  # violation
+from repro.tcp import TcpNetwork  # violation
+import repro.atm  # violation
+
+# the sanctioned scalar surfaces
+from repro.atm.params import AbrParams
+from repro.sim.probe import Probe
+from repro.sim.rng import RngStreams
+from repro.sim.units import CELL_BITS
+from repro.core.macr import MacrFilter
+
+from repro.sim import units  # lint: disable=FLD001

@@ -1,0 +1,59 @@
+"""FLD001 — the fluid tier must stay rate-only (no kernel, no cells)."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_fld001_fixture():
+    assert_rule_matches_fixture("FLD001", "fld001_imports.py",
+                                package="fluid")
+
+
+def test_fld001_only_applies_to_core_fluid_modules():
+    source = "from repro.sim import Simulator\n"
+    in_fluid = [f for f in lint_snippet(
+        source, "src/repro/fluid/stepper.py") if f.rule_id == "FLD001"]
+    elsewhere = [f for f in lint_snippet(
+        source, "src/repro/exec/worker.py") if f.rule_id == "FLD001"]
+    assert len(in_fluid) == 1
+    assert elsewhere == []
+
+
+def test_fld001_exempts_bridge_and_driver_modules():
+    source = ("from repro.atm import AtmNetwork\n"
+              "from repro.sim import PeriodicTimer\n")
+    for stem in ("hybrid", "cli", "validate", "bench"):
+        findings = [f for f in lint_snippet(
+            source, f"src/repro/fluid/{stem}.py")
+            if f.rule_id == "FLD001"]
+        assert findings == [], stem
+
+
+def test_fld001_allows_params_and_scalar_sim_modules():
+    source = ("from repro.atm.params import AbrParams, PAPER_PARAMS\n"
+              "from repro.sim.probe import Probe\n"
+              "from repro.sim.rng import RngStreams\n"
+              "from repro.sim.units import CELL_BITS\n"
+              "from repro.core.macr import MacrFilter\n")
+    findings = [f for f in lint_snippet(
+        source, "src/repro/fluid/model.py") if f.rule_id == "FLD001"]
+    assert findings == []
+
+
+def test_fld001_message_names_the_module():
+    source = "from repro.atm.port import OutputPort\n"
+    findings = [f for f in lint_snippet(
+        source, "src/repro/fluid/model.py") if f.rule_id == "FLD001"]
+    assert len(findings) == 1
+    assert "repro.atm.port" in findings[0].message
+
+
+def test_shipped_fluid_package_is_fld001_clean():
+    from pathlib import Path
+
+    from repro.lint import lint_paths
+
+    package = (Path(__file__).resolve().parents[2]
+               / "src" / "repro" / "fluid")
+    findings, files = lint_paths([str(package)], select=["FLD001"])
+    assert files >= 7
+    assert findings == []
