@@ -44,11 +44,16 @@ def allocation_error(measured: Mapping[str, float],
     """Root-mean-square relative error against a reference allocation.
 
     Used to score a run against the (phantom-adjusted) max-min rates.
+    ``reference`` may be the full oracle allocation of a larger topology
+    (:func:`repro.core.fairness.max_min_allocation` output); only the
+    sessions named in ``measured`` are scored, but every measured
+    session must appear in the reference.
     """
-    if set(measured) != set(reference):
+    if set(measured) - set(reference):
         raise ValueError(
             f"allocations name different sessions: "
             f"{sorted(measured)} vs {sorted(reference)}")
+    reference = {name: reference[name] for name in measured}
     if not measured:
         raise ValueError("empty allocations")
     total = 0.0
@@ -59,16 +64,30 @@ def allocation_error(measured: Mapping[str, float],
     return math.sqrt(total / len(measured))
 
 
-def convergence_time(probe: Probe, target: float, tolerance: float = 0.1,
-                     hold: float = 0.01) -> float:
+def convergence_time(probe: Probe, target: float | Mapping[str, float],
+                     tolerance: float = 0.1, hold: float = 0.01,
+                     session: str | None = None) -> float:
     """Earliest time after which the signal stays within ±tolerance·target.
 
     The signal must remain in the band for at least ``hold`` seconds and
     through the end of the recorded series.  Returns ``inf`` if it never
     settles.
+
+    ``target`` is either the scalar rate the signal should settle to, or
+    a whole allocation mapping as computed by
+    :func:`repro.core.fairness.max_min_allocation` — then ``session``
+    (defaulting to the probe's name) selects the entry to settle to, so
+    callers can hand the oracle output straight through.
     """
     if not len(probe):
         raise ValueError("probe is empty")
+    if isinstance(target, Mapping):
+        name = session if session is not None else probe.name
+        if name not in target:
+            raise ValueError(
+                f"session {name!r} not in the target allocation "
+                f"({sorted(target)})")
+        target = target[name]
     if target <= 0:
         raise ValueError(f"target must be positive, got {target!r}")
     band = tolerance * target

@@ -136,6 +136,22 @@ class AtmNetwork:
     def trunks(self) -> dict[tuple[str, str], OutputPort]:
         return dict(self._trunks)
 
+    def capacities(self) -> dict[str, float]:
+        """Trunk capacities in Mb/s keyed by port name (``"S1->S2"``) —
+        the link set in :func:`repro.core.fairness.max_min_allocation`
+        form, for the oracle/health layer."""
+        return {port.name: port.rate_mbps
+                for port in self._trunks.values()}
+
+    def routes(self) -> dict[str, list[str]]:
+        """Each ABR session's forward path as the trunk-port names it
+        crosses (sessions on a single switch cross no trunk and map to
+        an empty list).  Matches :meth:`capacities`' keys, so the pair
+        feeds :func:`repro.core.fairness.max_min_allocation` directly."""
+        return {vc: [f"{a}->{b}"
+                     for a, b in zip(session.route, session.route[1:])]
+                for vc, session in self.sessions.items()}
+
     # ------------------------------------------------------------------
     # sessions
     # ------------------------------------------------------------------

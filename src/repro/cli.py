@@ -79,11 +79,26 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Registry-equivalent scenario names (repro.exec.entries) for the
+#: CLI's flag-level names, so the HealthReport's oracle gating judges
+#: `repro atm/tcp` runs exactly like `repro suite` tasks.
+HEALTH_SCENARIOS = {
+    "atm": {"staggered": "atm.staggered", "rtt": "atm.rtt",
+            "onoff": "atm.onoff", "parking-lot": "atm.parking",
+            "transient": "atm.transient"},
+    "tcp": {"rtt": "tcp.rtt", "parking-lot": "tcp.parking",
+            "many": "tcp.many", "vegas": "tcp.vegas",
+            "mixed": "tcp.mixed"},
+}
+
+
 def _write_obs_artifacts(command: str, params: dict, run, tracer,
                          wall_s: float, trace_path: str,
-                         manifest_path: str, seed=None) -> None:
+                         manifest_path: str, seed=None,
+                         health_scenario: str | None = None) -> None:
     """Write the run's trace (when recorded) and manifest (unless
-    disabled with ``--manifest ''``)."""
+    disabled with ``--manifest ''``), with the run's HealthReport
+    folded into the manifest."""
     from repro import obs
 
     if tracer is not None and trace_path:
@@ -92,12 +107,14 @@ def _write_obs_artifacts(command: str, params: dict, run, tracer,
         print(f"\nwrote {trace_path} ({len(tracer.events)} events)")
     if manifest_path:
         registry = obs.registry_from_run(run)
+        health = obs.build_health(run, scenario=health_scenario,
+                                  params=params)
         manifest = obs.build_manifest(
             command=command, params=params, seed=seed,
             metrics=registry.summary(), wall_s=wall_s,
-            trace_path=trace_path or None)
+            trace_path=trace_path or None, health=health)
         obs.write_manifest(manifest_path, manifest)
-        print(f"wrote {manifest_path}")
+        print(f"wrote {manifest_path} (health: {health['verdict']})")
 
 
 def _cmd_atm(args: argparse.Namespace) -> int:
@@ -144,7 +161,9 @@ def _cmd_atm(args: argparse.Namespace) -> int:
         params["sessions"] = args.sessions
     _write_obs_artifacts("atm", params, run, tracer, wall_s,
                          args.trace, args.manifest,
-                         seed=kwargs.get("seed"))
+                         seed=kwargs.get("seed"),
+                         health_scenario=HEALTH_SCENARIOS["atm"]
+                         [args.scenario])
     return 0
 
 
@@ -174,7 +193,9 @@ def _cmd_tcp(args: argparse.Namespace) -> int:
     params = {"scenario": args.scenario, "policy": args.policy,
               "duration": args.duration}
     _write_obs_artifacts("tcp", params, run, tracer, wall_s,
-                         args.trace, args.manifest)
+                         args.trace, args.manifest,
+                         health_scenario=HEALTH_SCENARIOS["tcp"]
+                         [args.scenario])
     return 0
 
 
@@ -244,6 +265,22 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         else:
             print(f"\nwithin {args.factor:g}x of the {args.baseline} "
                   "baseline")
+    if args.record:
+        try:
+            committed = perf.read_report(args.baseline)
+        except (OSError, ValueError):
+            committed = None
+        if committed is not None:
+            drifts = perf.history_drift(report, committed)
+            if drifts:
+                print(f"\nwarning: wall/sim-sec drift beyond "
+                      f"{perf.HISTORY_WARN_FACTOR:g}x of "
+                      f"{args.baseline}:")
+                for drift in drifts:
+                    print(f"  {drift}")
+        entry = perf.append_history(args.history, report)
+        print(f"\nrecorded {len(entry['workloads'])} workload(s) in "
+              f"{args.history}")
     if args.output:
         perf.write_report(args.output, report)
         print(f"\nwrote {args.output}")
@@ -372,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--factor", type=float, default=2.0,
                       help="allowed wall/sim-sec regression factor "
                            "(default 2.0)")
+    perf.add_argument("--record", action="store_true",
+                      help="append this measurement to --history and "
+                           "warn (without failing) on >20%% wall/sim-sec "
+                           "drift against --baseline")
+    perf.add_argument("--history", default="BENCH_history.jsonl",
+                      help="append-only measurement log for --record")
     perf.set_defaults(fn=_cmd_perf)
 
     obs = sub.add_parser(

@@ -63,6 +63,11 @@ def add_suite_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--record-bench", default="",
                         help="merge suite wall/cache numbers into this "
                              "BENCH_perf.json-style report")
+    parser.add_argument("--health", action="store_true",
+                        help="aggregate per-task HealthReports "
+                             "(conservation, queue bounds, ε-band "
+                             "convergence) and exit non-zero on any "
+                             "violated verdict")
     _add_executor_arguments(parser)
 
 
@@ -199,7 +204,8 @@ def _summarise(results: Sequence[ExecResult], wall_s: float,
 
 def _merged_manifest(path: str, results: Sequence[ExecResult],
                      params: dict[str, Any], seed: int, jobs: int,
-                     wall_s: float, cache: ResultCache | None) -> None:
+                     wall_s: float, cache: ResultCache | None,
+                     health: dict[str, Any] | None = None) -> None:
     from repro import obs
 
     metrics: dict[str, float] = {}
@@ -207,9 +213,13 @@ def _merged_manifest(path: str, results: Sequence[ExecResult],
         if result.ok:
             for key, value in sorted(result.payload["metrics"].items()):
                 metrics[f"{result.spec.task_id}.{key}"] = value
-    tasks = [{"task_id": r.spec.task_id, "scenario": r.spec.scenario,
-              "status": r.status, "fingerprint": r.fingerprint}
-             for r in results]
+    tasks = []
+    for r in results:
+        row = {"task_id": r.spec.task_id, "scenario": r.spec.scenario,
+               "status": r.status, "fingerprint": r.fingerprint}
+        if r.ok and r.payload.get("health"):
+            row["health"] = r.payload["health"]["verdict"]
+        tasks.append(row)
     execution = {
         "jobs": jobs,
         "cached": sum(1 for r in results if r.cached),
@@ -217,9 +227,32 @@ def _merged_manifest(path: str, results: Sequence[ExecResult],
     }
     manifest = obs.build_manifest(
         command="suite", params=params, seed=seed, metrics=metrics,
-        wall_s=wall_s, tasks=tasks, execution=execution)
+        wall_s=wall_s, tasks=tasks, execution=execution, health=health)
     obs.write_manifest(path, manifest)
     print(f"wrote {path}")
+
+
+def _suite_health(results: Sequence[ExecResult]
+                  ) -> dict[str, Any] | None:
+    """Aggregate the per-task HealthReports carried in ok payloads."""
+    from repro.obs.health import merge_health
+
+    reports = {r.spec.task_id: r.payload["health"]
+               for r in results if r.ok and r.payload.get("health")}
+    return merge_health(reports) if reports else None
+
+
+def _print_health(merged: dict[str, Any]) -> None:
+    print()
+    print(format_table(
+        ["check", "pass", "violated", "n/a"],
+        [[name, counts["pass"], counts["violated"],
+          counts["not-applicable"]]
+         for name, counts in sorted(merged["checks"].items())]))
+    print(f"\nhealth: {merged['verdict']} across {merged['runs']} "
+          "run(s)")
+    for run_id, bad in sorted(merged["violated"].items()):
+        print(f"  VIOLATED {run_id}: {', '.join(bad)}")
 
 
 def run_suite_command(args: argparse.Namespace) -> int:
@@ -249,6 +282,17 @@ def run_suite_command(args: argparse.Namespace) -> int:
               + (" ..." if len(uncached) > 8 else ""))
         status = 1
 
+    merged_health = None
+    if args.health:
+        merged_health = _suite_health(results)
+        if merged_health is None:
+            print("\n--health: no per-task health reports to aggregate")
+            status = 1
+        else:
+            _print_health(merged_health)
+            if merged_health["verdict"] == "violated":
+                status = 1
+
     params = {"scale": args.scale,
               "experiments": experiments or experiment_ids()}
     if args.output:
@@ -257,7 +301,7 @@ def run_suite_command(args: argparse.Namespace) -> int:
             cache=cache, extra={"scale": args.scale, "seed": args.seed}))
     if args.manifest:
         _merged_manifest(args.manifest, results, params, args.seed,
-                         jobs, wall_s, cache)
+                         jobs, wall_s, cache, health=merged_health)
     if args.record_bench:
         _record_bench(args.record_bench, results, args.scale, jobs,
                       wall_s)

@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Version of the worker result payload; part of every fingerprint so a
 #: harness change that alters result layout/digesting retires stale
 #: cache entries wholesale.
-RESULT_VERSION = 1
+RESULT_VERSION = 2  # v2: payloads carry the repro.obs.health report
 
 
 class SourceIndex:

@@ -13,7 +13,12 @@ reduces the run handle to a JSON-able result payload:
   bit-identical per task;
 * **requested probe series** — full (times, values) columns for the
   spec's ``probes`` names, for callers that post-process (convergence
-  times, windowed statistics).
+  times, windowed statistics);
+* **health report** — the run's :mod:`repro.obs.health` verdicts
+  (conservation, queue bounds, ε-band convergence vs the max-min
+  oracle), so ``repro suite --health`` can aggregate without re-running
+  anything.  ``build_health`` never raises, so a health failure cannot
+  take the task down.
 
 Exceptions never propagate: failures and timeouts come back as payloads
 with ``status`` ``"error"``/``"timeout"`` so the pool can retry without
@@ -30,6 +35,7 @@ from typing import Any
 
 from repro.exec.registry import ScenarioEntry, get_scenario
 from repro.exec.spec import TaskSpec
+from repro.obs.health import build_health
 from repro.perf.golden import probe_digest, run_parts
 
 
@@ -146,6 +152,8 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
             "probe_digests": {name: probe_digest(probe)
                               for name, probe in sorted(probes.items())},
             "series": _series(probes, spec.probes),
+            "health": build_health(run, scenario=spec.scenario,
+                                   params=spec.params),
             "wall_s": round(wall_s, 4),
         }
     except Exception:

@@ -33,6 +33,15 @@ SCENARIOS = {
     "transient": scenarios.transient,
 }
 
+#: Registry-equivalent names (repro.exec.entries) so the manifest's
+#: HealthReport gates its oracle checks exactly like `repro suite`.
+HEALTH_SCENARIOS = {
+    "staggered": "fluid.staggered",
+    "onoff": "fluid.onoff",
+    "parking": "fluid.parking",
+    "transient": "fluid.transient",
+}
+
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the ``repro fluid`` subcommands on ``parser``."""
@@ -130,13 +139,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params["sessions"] = args.sessions
     _write_obs_artifacts("fluid", params, result, tracer, wall_s,
                          args.trace, args.manifest,
-                         seed=kwargs.get("seed"))
+                         seed=kwargs.get("seed"),
+                         health_scenario=HEALTH_SCENARIOS[args.scenario])
     return 0
 
 
 def _write_obs_artifacts(command: str, params: dict, result, tracer,
                          wall_s: float, trace_path: str,
-                         manifest_path: str, seed=None) -> None:
+                         manifest_path: str, seed=None,
+                         health_scenario: str | None = None) -> None:
     from repro import obs
 
     if tracer is not None and trace_path:
@@ -145,12 +156,14 @@ def _write_obs_artifacts(command: str, params: dict, result, tracer,
         print(f"\nwrote {trace_path} ({len(tracer.events)} events)")
     if manifest_path:
         registry = obs.registry_from_run(result)
+        health = obs.build_health(result, scenario=health_scenario,
+                                  params=params)
         manifest = obs.build_manifest(
             command=command, params=params, seed=seed,
             metrics=registry.summary(), wall_s=wall_s,
-            trace_path=trace_path or None)
+            trace_path=trace_path or None, health=health)
         obs.write_manifest(manifest_path, manifest)
-        print(f"wrote {manifest_path}")
+        print(f"wrote {manifest_path} (health: {health['verdict']})")
 
 
 def _cmd_many(args: argparse.Namespace) -> int:

@@ -313,6 +313,23 @@ class FluidNetwork:
         self.groups.append(group)
         return group
 
+    def capacities(self) -> dict[str, float]:
+        """Trunk capacities in Mb/s keyed by trunk name — the link set
+        in :func:`repro.core.fairness.max_min_allocation` form."""
+        return {name: trunk.capacity_mbps
+                for name, trunk in self.trunks.items()}
+
+    def routes(self) -> dict[str, list[str]]:
+        """Each cohort's route as the trunk names it crosses.
+
+        One entry per *cohort*, not per flow — a cohort of ``count``
+        identical flows is one oracle session whose fair share is the
+        whole cohort's (give it ``weight = count ·
+        params.weight`` and divide the allocation by ``count`` for the
+        per-flow rate, as :mod:`repro.obs.health` does)."""
+        return {cohort.name: list(cohort.route)
+                for cohort in self.cohorts}
+
     # ------------------------------------------------------------------
     def at(self, time: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at the start of the interval covering ``time``."""

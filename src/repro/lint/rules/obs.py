@@ -24,6 +24,11 @@ from repro.lint.registry import Rule, register
 #: captured ``self._tracer``.
 _TRACER_NAMES = frozenset({"tracer", "_tracer"})
 
+#: Receiver names that identify a streaming-monitor feed call
+#: (:mod:`repro.obs.monitor`); same capture-and-gate convention as
+#: tracers — ``None`` when monitoring is off.
+_MONITOR_NAMES = frozenset({"monitor", "_monitor", "watch", "_watch"})
+
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
 
 
@@ -113,3 +118,43 @@ class UngatedEmitRule(Rule):
                 f"'{recv} is not None'; untraced runs keep the tracer "
                 "None, so an ungated emit crashes — and gating is what "
                 "keeps disabled tracing at one is-None check")
+
+
+@register
+class UngatedMonitorRule(Rule):
+    """OBS002: monitor feed on a hot path without an ``is None`` gate.
+
+    Streaming monitors (:mod:`repro.obs.monitor`) follow the tracer
+    discipline: simulation components capture a monitor/watch that is
+    ``None`` when monitoring is off, so every ``monitor.observe(...)``
+    on a cell/packet/step path must be dominated by an
+    ``is not None`` check on the same receiver.  That is what keeps
+    unmonitored runs at one is-None check — the property the
+    golden-digest suite's bit-identity claim rests on.
+    """
+
+    id = "OBS002"
+    severity = Severity.ERROR
+    summary = ("monitor observe without an 'is None' gate on a hot "
+               "path; hoist the monitor into a local and guard the "
+               "call with 'if monitor is not None:'")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_subpackage("atm", "tcp", "sim", "core", "fluid")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and last_attr(node) == "observe"):
+                continue
+            recv = _receiver(node)
+            if recv is None or recv.split(".")[-1] not in _MONITOR_NAMES:
+                continue
+            if _is_gated(ctx, node, recv):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"{recv}.observe(...) is not guarded by "
+                f"'{recv} is not None'; unmonitored runs keep the "
+                "monitor None, so an ungated feed crashes — and gating "
+                "is what keeps disabled monitoring free")

@@ -17,13 +17,16 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable
 
-#: Event kinds whose named field renders well as a counter track.
-COUNTER_FIELDS = {
+#: Event kinds whose named field(s) render well as counter tracks.  A
+#: tuple fans one event out to several tracks — the fluid tier's
+#: ``fluid.step`` carries the trunk's whole per-Δt state in one event.
+COUNTER_FIELDS: dict[str, str | tuple[str, ...]] = {
     "port.enqueue": "qlen",
     "port.drop": "qlen",
     "router.drop": "qlen",
     "macr.update": "macr",
     "tcp.timeout": "cwnd",
+    "fluid.step": ("macr", "queue", "offered"),
 }
 
 #: Microseconds per simulated second (trace_event's time unit).
@@ -56,15 +59,20 @@ def chrome_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
             "tid": tid,
             "args": fields,
         })
-        counter_field = COUNTER_FIELDS.get(kind)
-        if counter_field is not None and counter_field in fields:
-            out.append({
-                "name": f"{comp} {counter_field}",
-                "ph": "C",
-                "ts": ts_us,
-                "pid": 1,
-                "args": {counter_field: fields[counter_field]},
-            })
+        counter_fields = COUNTER_FIELDS.get(kind)
+        if counter_fields is None:
+            continue
+        if isinstance(counter_fields, str):
+            counter_fields = (counter_fields,)
+        for counter_field in counter_fields:
+            if counter_field in fields:
+                out.append({
+                    "name": f"{comp} {counter_field}",
+                    "ph": "C",
+                    "ts": ts_us,
+                    "pid": 1,
+                    "args": {counter_field: fields[counter_field]},
+                })
     return out
 
 

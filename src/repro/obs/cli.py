@@ -11,6 +11,8 @@ Subcommands::
                          the schema invariants CI relies on
     repro obs diff       compare two run manifests (volatile environment
                          fields excluded unless --include-volatile)
+    repro obs health     run a registry scenario and print its
+                         HealthReport (exit 1 on any violated verdict)
 
 See docs/OBSERVABILITY.md for the formats.
 """
@@ -18,6 +20,7 @@ See docs/OBSERVABILITY.md for the formats.
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 from repro.obs.chrome import write_chrome_trace
@@ -77,6 +80,27 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                       help="also compare git rev / python / platform / "
                            "wall time")
     diff.set_defaults(obs_fn=_cmd_diff)
+
+    health = sub.add_parser(
+        "health", help="run a scenario and print its HealthReport")
+    health.add_argument("--scenario", default="atm.staggered",
+                        help="registry scenario name (repro.exec)")
+    health.add_argument("--set", action="append", default=[],
+                        metavar="KEY=VALUE", dest="overrides",
+                        help="scenario parameter (dotted keys reach "
+                             "nested dicts; values parsed as JSON, "
+                             "falling back to strings)")
+    health.add_argument("--seed", type=int, default=None,
+                        help="seed for stochastic scenarios")
+    health.add_argument("--eps", type=float, default=None,
+                        help="ε-band half-width vs the oracle "
+                             "(default 0.05)")
+    health.add_argument("--queue-bound", type=float, default=None,
+                        help="override the derived per-port queue bound "
+                             "(cells / packets)")
+    health.add_argument("--output", default=None,
+                        help="also write the report as JSON")
+    health.set_defaults(obs_fn=_cmd_health)
 
 
 def run(args: argparse.Namespace) -> int:
@@ -162,6 +186,77 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                             else "")
     print(f"{checked}: ok")
     return 0
+
+
+def _parse_overrides(items: list[str]) -> dict:
+    """``KEY=VALUE`` pairs into a (nested) params dict.
+
+    Dotted keys descend (``algorithm_params.utilization_factor=2``);
+    values are parsed as JSON so numbers, booleans, and lists work, with
+    a fallback to the raw string (``algorithm=erica``).
+    """
+    params: dict = {}
+    for item in items:
+        key, eq, raw = item.partition("=")
+        if not eq or not key:
+            raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+        try:
+            value = json.loads(raw)
+        except ValueError:
+            value = raw
+        node = params
+        parts = key.split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise SystemExit(
+                    f"--set key {key!r} descends into a non-dict value")
+        node[parts[-1]] = value
+    return params
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    from repro.exec.registry import get_scenario
+    from repro.obs.health import DEFAULT_EPS, build_health
+
+    entry = get_scenario(args.scenario)
+    params = _parse_overrides(args.overrides)
+    kwargs = dict(params)
+    if entry.takes_seed and args.seed is not None:
+        kwargs["seed"] = args.seed
+    run_handle = entry.fn(**kwargs)
+    report = build_health(run_handle, scenario=args.scenario,
+                          params=params,
+                          eps=(DEFAULT_EPS if args.eps is None
+                               else args.eps),
+                          queue_bound=args.queue_bound)
+    print(f"scenario : {args.scenario}")
+    print(f"eps      : {report['eps']}")
+    print(f"verdict  : {report['verdict']}")
+    oracle = report.get("oracle")
+    if oracle:
+        shares = " ".join(f"{name}={rate:.2f}"
+                          for name, rate in oracle.items())
+        print(f"oracle   : {shares} Mb/s")
+    print("checks   :")
+    for entry_check in report["checks"]:
+        line = f"  {entry_check['name']:<20} {entry_check['verdict']}"
+        ts = entry_check["first_violation_ts"]
+        if ts is not None:
+            line += f"  (first violation at t={ts:.6f}s)"
+        reason = entry_check["evidence"].get("reason")
+        if reason:
+            line += f"  ({reason})"
+        print(line)
+        if entry_check["verdict"] == "violated":
+            for key, value in entry_check["evidence"].items():
+                print(f"      {key}: {value}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 1 if report["verdict"] == "violated" else 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:

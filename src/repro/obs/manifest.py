@@ -51,7 +51,8 @@ def build_manifest(command: str, params: dict[str, Any], *,
                    wall_s: float | None = None,
                    trace_path: str | None = None,
                    tasks: list[dict[str, Any]] | None = None,
-                   execution: dict[str, Any] | None = None
+                   execution: dict[str, Any] | None = None,
+                   health: dict[str, Any] | None = None
                    ) -> dict[str, Any]:
     """Assemble a manifest dict for one CLI invocation.
 
@@ -63,6 +64,9 @@ def build_manifest(command: str, params: dict[str, Any], *,
     configuration and diff like it — and ``execution`` — job counts,
     cache hit/miss tallies and the like, which are volatile and skipped
     by :func:`diff_manifests` along with the other environment fields.
+    ``health`` is the run's HealthReport (:mod:`repro.obs.health`, or
+    its suite-level merge); it is deterministic for a given
+    configuration and therefore diffs like a result.
     """
     manifest: dict[str, Any] = {
         "schema": MANIFEST_SCHEMA,
@@ -84,6 +88,8 @@ def build_manifest(command: str, params: dict[str, Any], *,
         manifest["tasks"] = [dict(task) for task in tasks]
     if execution is not None:
         manifest["execution"] = dict(execution)
+    if health is not None:
+        manifest["health"] = dict(health)
     return manifest
 
 
@@ -119,6 +125,17 @@ def validate_manifest(manifest: dict[str, Any]) -> list[str]:
     metrics = manifest.get("metrics")
     if metrics is not None and not isinstance(metrics, dict):
         problems.append("'metrics' present but not a dict")
+    health = manifest.get("health")
+    if health is not None:
+        from repro.obs.health import HEALTH_SCHEMA, validate_health
+        if not isinstance(health, dict):
+            problems.append("'health' present but not a dict")
+        elif health.get("schema") == HEALTH_SCHEMA:
+            # per-run HealthReports are schema-checked in full;
+            # suite-level merges only need to be objects
+            problems.extend(
+                f"health: {problem}"
+                for problem in validate_health(health))
     return problems
 
 

@@ -73,6 +73,8 @@ class Job:
             out["probe_digests"] = self.payload.get("probe_digests")
             if self.payload.get("series"):
                 out["series"] = self.payload["series"]
+            if self.payload.get("health"):
+                out["health"] = self.payload["health"]
             out["wall_s"] = self.payload.get("wall_s")
         return out
 

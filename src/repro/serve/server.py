@@ -131,6 +131,8 @@ class ServeApp:
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task[None]] = set()
         self._started_at: float | None = None
+        #: Finished jobs whose HealthReport verdict was "violated".
+        self._health_violated = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -447,6 +449,8 @@ class ServeApp:
         self.metrics.gauge("repro_serve_grant_rps").set(
             state["grant_rps"])
         self.metrics.gauge("repro_serve_clients").set(state["clients"])
+        self.metrics.gauge("repro_serve_health_violated_jobs").set(
+            self._health_violated)
         if self.cache is not None:
             stats = self.cache.stats()
             for name, value in stats.items():
@@ -463,3 +467,13 @@ class ServeApp:
                 "repro_serve_job_seconds", buckets=LATENCY_BUCKETS,
                 state=job.state).observe(
                     job.finished_at - job.submitted_at)
+        health = (job.payload or {}).get("health")
+        if health is not None:
+            self.metrics.counter("repro_serve_health_total",
+                                 verdict=health["verdict"]).inc()
+            for entry in health.get("checks", []):
+                self.metrics.counter("repro_serve_health_checks_total",
+                                     check=entry["name"],
+                                     verdict=entry["verdict"]).inc()
+            if health["verdict"] == "violated":
+                self._health_violated += 1

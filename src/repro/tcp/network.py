@@ -112,6 +112,19 @@ class TcpNetwork:
     def trunks(self) -> dict[tuple[str, str], PacketPort]:
         return dict(self._trunks)
 
+    def capacities(self) -> dict[str, float]:
+        """Trunk capacities in Mb/s keyed by port name (``"R1->R2"``),
+        in :func:`repro.core.fairness.max_min_allocation` link form."""
+        return {port.name: port.rate_mbps
+                for port in self._trunks.values()}
+
+    def routes(self) -> dict[str, list[str]]:
+        """Each flow's forward path as the trunk-port names it crosses,
+        matching :meth:`capacities`' keys for the fairness oracle."""
+        return {name: [f"{a}->{b}"
+                       for a, b in zip(flow.route, flow.route[1:])]
+                for name, flow in self.flows.items()}
+
     # ------------------------------------------------------------------
     # flows
     # ------------------------------------------------------------------

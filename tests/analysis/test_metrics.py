@@ -71,6 +71,17 @@ def test_allocation_error_validation():
         allocation_error({"a": 1.0}, {"a": 0.0})
 
 
+def test_allocation_error_accepts_superset_reference():
+    # a whole-topology oracle scores a partial measurement: only the
+    # measured sessions count, so a perfect subset is error zero
+    oracle = {"a": 10.0, "b": 20.0, "phantom": 5.0}
+    assert allocation_error({"a": 10.0}, oracle) == 0.0
+    assert allocation_error({"a": 11.0}, oracle) == pytest.approx(0.1)
+    # but a measured session absent from the reference still raises
+    with pytest.raises(ValueError):
+        allocation_error({"a": 10.0, "zz": 1.0}, oracle)
+
+
 # ----------------------------------------------------------------------
 # convergence
 # ----------------------------------------------------------------------
@@ -102,6 +113,24 @@ def test_convergence_validation():
         convergence_time(Probe(), target=1.0)
     with pytest.raises(ValueError):
         convergence_time(probe_of([(0.0, 1.0)]), target=0.0)
+
+
+def test_convergence_accepts_oracle_mapping():
+    # the oracle allocation passes straight through: the probe's own
+    # name selects its entry, or an explicit session overrides it
+    p = probe_of([(0.0, 0.0), (1.0, 50.0), (2.0, 95.0), (3.0, 99.0),
+                  (4.0, 101.0), (5.0, 100.0)])
+    assert p.name == "t"
+    oracle = {"t": 100.0, "other": 30.0}
+    assert convergence_time(p, oracle, tolerance=0.1) == 2.0
+    assert convergence_time(p, oracle, tolerance=0.1,
+                            session="t") == 2.0
+    # selecting the other session's target: never in its 10% band
+    assert convergence_time(p, oracle, session="other") == math.inf
+    with pytest.raises(ValueError):
+        convergence_time(p, oracle, session="missing")
+    with pytest.raises(ValueError):
+        convergence_time(probe_of([(0.0, 1.0)], ), {"x": 1.0})
 
 
 # ----------------------------------------------------------------------

@@ -72,6 +72,20 @@ def test_suite_record_bench_merges(tmp_path):
     assert entry["tasks"] == 5 and entry["scale"] == 0.05
 
 
+def test_suite_health_aggregates_and_prints_table(tmp_path, capsys):
+    code, _report, mani = run_suite(tmp_path, "--health")
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "health: pass across 5 run(s)" in out
+    assert "conservation" in out and "queue_bound" in out
+    health = mani["health"]
+    assert health["schema"] == "repro.obs.health.suite"
+    assert health["verdicts"]["pass"] == 5
+    assert health["verdicts"]["violated"] == 0
+    assert health["checks"]["conservation"]["pass"] == 5
+    assert all(t["health"] == "pass" for t in mani["tasks"])
+
+
 def test_suite_rejects_unknown_experiment(tmp_path, capsys):
     with pytest.raises(SystemExit):
         main(["suite", "--experiments", "E99",

@@ -1,0 +1,56 @@
+"""OBS002 fixture: monitor feeds with and without the ``is None`` gate."""
+
+
+class Port:
+    def __init__(self, sim, monitor):
+        self.sim = sim
+        self._monitor = monitor
+        self._watch = monitor
+
+    def bare_attribute(self, record):
+        self._monitor.observe(record)  # violation
+
+    def bare_local(self, record):
+        monitor = self._monitor
+        monitor.observe(record)  # violation
+
+    def bare_watch(self, record):
+        watch = self._watch
+        watch.observe(record)  # violation
+
+    def gated_on_other_name(self, record):
+        other = self._monitor
+        if other is not None:
+            self._monitor.observe(record)  # violation
+
+    def wrong_branch(self, record):
+        monitor = self._monitor
+        if monitor is None:
+            monitor.observe(record)  # violation
+
+    def suppressed(self, record):
+        self._monitor.observe(record)  # lint: disable=OBS002
+
+    def gated_local(self, record):
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.observe(record)
+
+    def gated_attribute(self, record):
+        if self._monitor is not None:
+            self._monitor.observe(record)
+
+    def gated_watch(self, record):
+        watch = self._watch
+        if watch is not None:
+            watch.observe(record)
+
+    def gated_outer_scope(self, records):
+        monitor = self._monitor
+        if monitor is not None:
+            for record in records:
+                monitor.observe(record)
+
+    def other_observe_is_fine(self, series):
+        # only monitor-named receivers are monitor feeds
+        series.observe(1.0)

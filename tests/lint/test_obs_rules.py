@@ -43,3 +43,33 @@ def test_obs001_guard_must_dominate_within_function():
     findings = [f for f in lint_snippet(source, "src/repro/sim/mod.py")
                 if f.rule_id == "OBS001"]
     assert [f.line for f in findings] == [5]
+
+
+def test_obs002_flagged_and_suppressible():
+    assert_rule_matches_fixture("OBS002", "obs002_ungated_observe.py",
+                                package="atm")
+
+
+def test_obs002_scoped_to_simulation_subpackages():
+    source = ("class C:\n"
+              "    def f(self, record):\n"
+              "        self._monitor.observe(record)\n")
+    # the obs package itself folds records freely (it IS the monitor)
+    for path in ("src/repro/obs/mod.py", "src/repro/analysis/mod.py"):
+        assert [f for f in lint_snippet(source, path)
+                if f.rule_id == "OBS002"] == []
+    for pkg in ("atm", "tcp", "sim", "core", "fluid"):
+        findings = [f for f in
+                    lint_snippet(source, f"src/repro/{pkg}/mod.py")
+                    if f.rule_id == "OBS002"]
+        assert [f.line for f in findings] == [3]
+
+
+def test_obs002_gate_accepted():
+    source = ("class C:\n"
+              "    def f(self, record):\n"
+              "        watch = self._watch\n"
+              "        if watch is not None:\n"
+              "            watch.observe(record)\n")
+    assert [f for f in lint_snippet(source, "src/repro/fluid/mod.py")
+            if f.rule_id == "OBS002"] == []

@@ -50,7 +50,25 @@ def test_counter_fields_name_real_kinds():
     # produces no counter track, so pin the exact set
     assert COUNTER_FIELDS == {"port.enqueue": "qlen", "port.drop": "qlen",
                               "router.drop": "qlen", "macr.update": "macr",
-                              "tcp.timeout": "cwnd"}
+                              "tcp.timeout": "cwnd",
+                              "fluid.step": ("macr", "queue", "offered")}
+
+
+def test_fluid_step_fans_out_to_multiple_counter_tracks():
+    out = chrome_events([ev(0.002, "fluid.step", "T1", macr=12.5,
+                            queue=40.0, offered=150.0, grant=14.0)])
+    counters = [e for e in out if e["ph"] == "C"]
+    assert [(c["name"], c["args"]) for c in counters] == [
+        ("T1 macr", {"macr": 12.5}),
+        ("T1 queue", {"queue": 40.0}),
+        ("T1 offered", {"offered": 150.0}),
+    ]
+
+
+def test_fluid_step_skips_absent_fields():
+    out = chrome_events([ev(0.0, "fluid.step", "T1", macr=1.0)])
+    counters = [e for e in out if e["ph"] == "C"]
+    assert [c["name"] for c in counters] == ["T1 macr"]
 
 
 def test_chrome_trace_wrapper_and_writer(tmp_path):

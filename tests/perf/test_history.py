@@ -1,0 +1,86 @@
+"""The append-only perf history log behind ``repro perf --record``."""
+
+import json
+
+from repro import perf
+from repro.cli import main
+
+REPORT = {
+    "python": "3.12.0",
+    "machine": "x86_64",
+    "workloads": {
+        "e01_staggered": {"scale": 0.2, "wall_s": 1.5,
+                          "wall_per_sim_sec": 30.0,
+                          "events_per_sec": 2e5,
+                          "cells_per_sec": 1e5},
+    },
+}
+
+
+def test_history_entry_keeps_trend_fields_only():
+    entry = perf.history_entry(REPORT)
+    assert entry["python"] == "3.12.0"
+    assert entry["machine"] == "x86_64"
+    assert isinstance(entry["cpus"], int)
+    assert entry["workloads"] == {
+        "e01_staggered": {"scale": 0.2, "wall_s": 1.5,
+                          "wall_per_sim_sec": 30.0,
+                          "events_per_sec": 2e5}}
+    # ISO-8601 local stamp, greppable by date
+    assert len(entry["timestamp"]) == 19 and entry["timestamp"][10] == "T"
+
+
+def test_append_and_read_history_roundtrip(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    first = perf.append_history(path, REPORT)
+    second = perf.append_history(path, REPORT)
+    with open(path, "a") as fh:
+        fh.write("\n")   # a stray blank line must not break readers
+    rows = perf.read_history(path)
+    assert [r["workloads"] for r in rows] == \
+        [first["workloads"], second["workloads"]]
+    # JSONL: one parseable object per non-blank line
+    lines = [ln for ln in open(path) if ln.strip()]
+    assert len(lines) == 2
+    assert all(isinstance(json.loads(ln), dict) for ln in lines)
+
+
+def test_history_drift_uses_tighter_factor():
+    slower = {"workloads": {
+        "e01_staggered": dict(REPORT["workloads"]["e01_staggered"],
+                              wall_per_sim_sec=30.0 * 1.3)}}
+    assert perf.history_drift(REPORT, REPORT) == []
+    drifts = perf.history_drift(slower, REPORT)
+    assert len(drifts) == 1 and "1.2x" in drifts[0]
+    # the hard --check factor (2x) would not have fired at 1.3x
+    assert perf.check_regression(slower, REPORT) == []
+
+
+def test_perf_record_cli_appends_row(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    hist = tmp_path / "hist.jsonl"
+    assert main(["perf", "--workload", "e11_tcp", "--scale", "0.15",
+                 "--record", "--history", str(hist)]) == 0
+    out = capsys.readouterr().out
+    assert f"recorded 1 workload(s) in {hist}" in out
+    (row,) = perf.read_history(str(hist))
+    assert set(row["workloads"]) == {"e11_tcp"}
+    entry = row["workloads"]["e11_tcp"]
+    assert entry["scale"] == 0.15
+    assert entry["wall_per_sim_sec"] > 0
+
+
+def test_perf_record_warns_on_drift_but_exits_zero(tmp_path, capsys,
+                                                   monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    # a committed baseline so fast that any real measurement drifts
+    baseline = tmp_path / "base.json"
+    baseline.write_text(json.dumps({
+        "workloads": {"e11_tcp": {"wall_per_sim_sec": 1e-9}}}))
+    hist = tmp_path / "hist.jsonl"
+    assert main(["perf", "--workload", "e11_tcp", "--scale", "0.15",
+                 "--record", "--history", str(hist),
+                 "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "drift beyond 1.2x" in out
+    assert len(perf.read_history(str(hist))) == 1
