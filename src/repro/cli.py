@@ -327,6 +327,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return exec_cli.run_sweep_command(args)
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    # imported here so `repro list/atm/...` never pays for the fuzzer
+    from repro.fuzz import cli as fuzz_cli
+
+    return fuzz_cli.run_command(args)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # imported here so `repro list/atm/...` never pays for the gateway
     from repro.serve import cli as serve_cli
@@ -445,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
                       "scenario (see docs/EXECUTION.md)")
     exec_cli.add_sweep_arguments(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
+
+    from repro.fuzz import cli as fuzz_cli
+
+    fuzz = sub.add_parser(
+        "fuzz", help="generate, judge, shrink, and replay seeded "
+                     "scenarios against the fair-share oracle (see "
+                     "docs/FUZZING.md)")
+    fuzz_cli.add_arguments(fuzz)
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     from repro.serve import cli as serve_cli
 

@@ -32,6 +32,7 @@ from repro.exec.registry import register_scenario
 from repro.fluid import hybrid as fluid_hybrid
 from repro.fluid import scenarios as fluid_scenarios
 from repro.scenarios import atm as atm_scenarios
+from repro.scenarios import generic as generic_scenarios
 from repro.scenarios import tcp as tcp_scenarios
 from repro.scenarios.results import AtmRun
 
@@ -218,6 +219,29 @@ def atm_weighted(algorithm: str = "phantom",
     return result
 
 
+def fuzz_generic(config: Mapping[str, Any],
+                 seed: int | None = None) -> AtmRun:
+    """Config-driven ATM scenario — the fuzzer's resolution target.
+
+    Unlike every other ATM entry, the whole scenario (topology,
+    sessions, schedules, algorithm) arrives as the spec's inline
+    ``config`` mapping; only the algorithm name/params are resolved
+    here, against the same table the hand-written entries use.
+    """
+    return generic_scenarios.build_atm(
+        config,
+        algorithm_factory=_algorithm_factory(
+            config.get("algorithm", "phantom"),
+            config.get("algorithm_params")),
+        seed=seed)
+
+
+def fuzz_param_deps(params: dict) -> tuple[str, ...]:
+    config = params.get("config") or {}
+    algorithm = config.get("algorithm", "phantom")
+    return (_lookup(ATM_ALGORITHMS, algorithm, "algorithm")[2],)
+
+
 # ----------------------------------------------------------------------
 # fluid entries
 # ----------------------------------------------------------------------
@@ -387,6 +411,9 @@ register_scenario("atm.background", atm_background, kind="atm",
 register_scenario("atm.weighted", atm_weighted, kind="atm",
                   deps=("repro.atm", "repro.scenarios.results"),
                   param_deps=atm_param_deps)
+register_scenario("fuzz.generic", fuzz_generic, kind="atm",
+                  deps=("repro.scenarios.generic",),
+                  param_deps=fuzz_param_deps)
 
 _FLUID_DEPS = ("repro.fluid.scenarios",)
 

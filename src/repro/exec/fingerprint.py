@@ -258,7 +258,7 @@ def task_fingerprint(spec: TaskSpec, entry: "ScenarioEntry | None" = None,
         index = default_index()
     roots = list(entry.deps)
     if entry.param_deps is not None:
-        roots.extend(entry.param_deps(dict(spec.params)))
+        roots.extend(entry.param_deps(spec.effective_params()))
     material = {
         "result_version": RESULT_VERSION,
         "spec": spec.canonical(),

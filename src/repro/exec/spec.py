@@ -58,6 +58,12 @@ class TaskSpec:
     #: Probe names whose full (times, values) series the worker returns
     #: in addition to the digests of every probe.
     probes: tuple[str, ...] = ()
+    #: Optional inline scenario configuration (a JSON-able mapping).
+    #: Generated specs (``repro.fuzz``) describe their whole scenario
+    #: here instead of relying on a hand-written builder's defaults; the
+    #: registry entry named by ``scenario`` must accept a ``config``
+    #: keyword (e.g. ``fuzz.generic`` → the generic ATM builder).
+    config: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if not self.task_id:
@@ -66,6 +72,13 @@ class TaskSpec:
             raise ValueError("scenario must be non-empty")
         check_jsonable(dict(self.params), f"params of task {self.task_id!r}")
         object.__setattr__(self, "probes", tuple(self.probes))
+        if self.config is not None:
+            if not isinstance(self.config, Mapping):
+                raise TypeError(
+                    f"config of task {self.task_id!r} must be a mapping, "
+                    f"got {type(self.config).__name__}")
+            check_jsonable(dict(self.config),
+                           f"config of task {self.task_id!r}")
 
     # ------------------------------------------------------------------
     # canonical / wire forms
@@ -75,27 +88,50 @@ class TaskSpec:
 
         ``task_id`` is excluded on purpose: it is a label, and two tasks
         with identical scenario/params/seed/probes must share a cache
-        entry whatever they are called.
+        entry whatever they are called.  The ``config`` key appears only
+        when an inline config is present, so registry-name specs keep
+        their historical identity and a config-carrying spec can never
+        collide with one (the JSON texts always differ).
         """
-        return canonical_json({
+        material: dict[str, Any] = {
             "scenario": self.scenario,
             "params": dict(self.params),
             "seed": self.seed,
             "probes": list(self.probes),
-        })
+        }
+        if self.config is not None:
+            material["config"] = dict(self.config)
+        return canonical_json(material)
+
+    def effective_params(self) -> dict[str, Any]:
+        """Params as the worker calls the entry: inline config included.
+
+        This is the mapping handed to ``param_deps`` hooks, so a
+        params-derived fingerprint root (the chosen algorithm's module)
+        can be read out of an inline config too.
+        """
+        merged = dict(self.params)
+        if self.config is not None:
+            merged["config"] = dict(self.config)
+        return merged
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "task_id": self.task_id,
             "scenario": self.scenario,
             "params": dict(self.params),
             "seed": self.seed,
             "probes": list(self.probes),
         }
+        if self.config is not None:
+            data["config"] = dict(self.config)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TaskSpec":
+        config = data.get("config")
         return cls(task_id=data["task_id"], scenario=data["scenario"],
                    params=dict(data.get("params", {})),
                    seed=data.get("seed"),
-                   probes=tuple(data.get("probes", ())))
+                   probes=tuple(data.get("probes", ())),
+                   config=dict(config) if config is not None else None)

@@ -162,6 +162,8 @@ def execute_task(payload: dict[str, Any]) -> dict[str, Any]:
 
 def _call_entry(entry: ScenarioEntry, spec: TaskSpec):
     kwargs = dict(spec.params)
+    if spec.config is not None:
+        kwargs["config"] = dict(spec.config)
     if entry.takes_seed and spec.seed is not None:
         kwargs["seed"] = spec.seed
     return entry.fn(**kwargs)

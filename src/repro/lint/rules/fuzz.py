@@ -1,0 +1,100 @@
+"""Fuzz-tier rules (FZZ*).
+
+The fuzzer's whole contract is *one integer seed pins one batch
+forever*: a corpus entry's origin (seed + index) must regenerate the
+identical config years later, and a shrink candidate must re-run under
+the exact sample path of the original.  That only holds if every draw
+flows from an injected :class:`random.Random` /
+:class:`repro.sim.rng.RngStreams` handle — module-level randomness,
+wall-clock reads, or OS entropy anywhere in the generator, oracle,
+harness, shrinker, or corpus machinery silently breaks replay.
+
+FZZ001 pins that statically: core fuzz modules may import the
+``Random`` *class* (to accept and annotate injected handles) but not
+the ``random`` module itself (whose functions share global state), nor
+any clock or entropy source.  ``cli`` is exempt by name — measuring
+scenarios/sec needs the wall clock, and that is the one layer that
+never touches scenario content.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, register
+
+#: Modules banned outright in core fuzz modules: global-state
+#: randomness, clocks, and OS entropy.
+BANNED_MODULES = frozenset({"random", "time", "datetime", "uuid",
+                            "secrets"})
+
+#: Names importable *from* ``random``: the class is the injection
+#: surface; everything else operates on the shared global instance.
+ALLOWED_FROM_RANDOM = frozenset({"Random"})
+
+#: File stems exempt from FZZ001 — the driver layer, which reads the
+#: wall clock to report throughput but never draws scenario content.
+EXEMPT_STEMS = frozenset({"cli"})
+
+
+@register
+class FuzzDeterminismRule(Rule):
+    """FZZ001: core fuzz module imports global randomness or a clock.
+
+    Everything under ``repro/fuzz`` except the exempt driver modules
+    must take randomness through injected ``Random`` / ``RngStreams``
+    handles.  ``from random import Random`` is the sanctioned way to
+    name the injected type; ``import random``, any other ``from
+    random import ...``, and the ``time``/``datetime``/``uuid``/
+    ``secrets`` modules all reach state a seed does not pin.
+    """
+
+    id = "FZZ001"
+    severity = Severity.ERROR
+    summary = ("core fuzz module imports global randomness or a clock; "
+               "draws must come from injected Random/RngStreams handles")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if not ctx.in_subpackage("fuzz"):
+            return False
+        return PurePath(ctx.path).stem not in EXEMPT_STEMS
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned(alias.name):
+                        yield self._flag(ctx, node, alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                module = node.module
+                if module == "random":
+                    bad = [alias.name for alias in node.names
+                           if alias.name not in ALLOWED_FROM_RANDOM]
+                    if bad:
+                        yield self.finding(
+                            ctx, node,
+                            f"from random import "
+                            f"{', '.join(sorted(bad))} reaches the "
+                            "shared global generator; import the "
+                            "Random class and draw from an injected "
+                            "handle instead")
+                elif self._banned(module):
+                    yield self._flag(ctx, node, module)
+
+    def _flag(self, ctx: FileContext, node: ast.AST,
+              module: str) -> Finding:
+        return self.finding(
+            ctx, node,
+            f"import of {module!r} reaches state no seed pins "
+            "(global randomness, the wall clock, or OS entropy); "
+            "corpus replay and shrink stability require every draw "
+            "to flow from an injected Random/RngStreams handle")
+
+    @staticmethod
+    def _banned(module: str) -> bool:
+        root = module.split(".", 1)[0]
+        return root in BANNED_MODULES

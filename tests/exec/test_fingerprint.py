@@ -210,3 +210,52 @@ def test_engine_edit_invalidates_everything(copied_tree):
         fh.write("\n# touched by the invalidation test\n")
     after = _fingerprints(copied_tree)
     assert all(after[name] != before[name] for name in before)
+
+
+# ----------------------------------------------------------------------
+# inline-config (fuzz) specs
+# ----------------------------------------------------------------------
+def _fuzz_spec(algorithm="phantom", duration=0.1, task_id="fz"):
+    return TaskSpec(
+        task_id=task_id, scenario="fuzz.generic", seed=11,
+        config={"switches": ["S1", "S2"],
+                "trunks": [{"a": "S1", "b": "S2"}],
+                "sessions": [{"vc": "s0", "route": ["S1", "S2"]}],
+                "algorithm": algorithm, "duration": duration})
+
+
+def test_config_feeds_the_fingerprint(copied_tree):
+    index = SourceIndex(root=copied_tree)
+    base = task_fingerprint(_fuzz_spec(), index=index)
+    assert task_fingerprint(_fuzz_spec(), index=index) == base
+    assert task_fingerprint(_fuzz_spec(duration=0.2),
+                            index=index) != base
+    # the label stays outside the address: cache hits across batches
+    assert task_fingerprint(_fuzz_spec(task_id="other"),
+                            index=index) == base
+
+
+def test_config_algorithm_choice_scopes_the_closure(copied_tree):
+    # param_deps reads the algorithm out of the inline config, so a
+    # baseline edit invalidates only configs that chose that baseline
+    index = SourceIndex(root=copied_tree)
+    before_capc = task_fingerprint(_fuzz_spec("capc"), index=index)
+    before_phantom = task_fingerprint(_fuzz_spec(), index=index)
+    with (copied_tree / "baselines" / "capc.py").open("a") as fh:
+        fh.write("\n# touched by the fuzz invalidation test\n")
+    index = SourceIndex(root=copied_tree)
+    assert task_fingerprint(_fuzz_spec("capc"),
+                            index=index) != before_capc
+    assert task_fingerprint(_fuzz_spec(),
+                            index=index) == before_phantom
+
+
+def test_generic_builder_edit_spares_named_scenarios(copied_tree):
+    index = SourceIndex(root=copied_tree)
+    before_fuzz = task_fingerprint(_fuzz_spec(), index=index)
+    before_atm = task_fingerprint(ATM, index=index)
+    with (copied_tree / "scenarios" / "generic.py").open("a") as fh:
+        fh.write("\n# touched by the fuzz invalidation test\n")
+    index = SourceIndex(root=copied_tree)
+    assert task_fingerprint(_fuzz_spec(), index=index) != before_fuzz
+    assert task_fingerprint(ATM, index=index) == before_atm

@@ -61,3 +61,65 @@ def test_derive_seed_is_stable_and_task_dependent():
     expected = int.from_bytes(
         hashlib.sha256(b"7:E02").digest()[:8], "big")
     assert derive_seed(7, "E02") == expected
+
+
+# ----------------------------------------------------------------------
+# inline configs (generated specs)
+# ----------------------------------------------------------------------
+def _config():
+    return {"switches": ["S1", "S2"],
+            "trunks": [{"a": "S1", "b": "S2"}],
+            "sessions": [{"vc": "s0", "route": ["S1", "S2"]}],
+            "duration": 0.1}
+
+
+def test_config_round_trips_through_wire_form():
+    spec = TaskSpec(task_id="fz", scenario="fuzz.generic", seed=7,
+                    probes=("s0.acr",), config=_config())
+    again = TaskSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.config == _config()
+
+
+def test_config_canonical_is_key_order_independent():
+    a = TaskSpec(task_id="t", scenario="fuzz.generic",
+                 config={"duration": 0.1, "switches": ["S1"]})
+    b = TaskSpec(task_id="t", scenario="fuzz.generic",
+                 config={"switches": ["S1"], "duration": 0.1})
+    assert a.canonical() == b.canonical()
+
+
+def test_config_feeds_the_canonical_form():
+    a = TaskSpec(task_id="t", scenario="fuzz.generic", config=_config())
+    other = dict(_config(), duration=0.2)
+    b = TaskSpec(task_id="t", scenario="fuzz.generic", config=other)
+    assert a.canonical() != b.canonical()
+
+
+def test_configless_specs_keep_their_historical_identity():
+    # adding the config field must not shift existing cache keys
+    spec = TaskSpec(task_id="t", scenario="atm.staggered",
+                    params={"duration": 0.1})
+    assert '"config"' not in spec.canonical()
+
+
+def test_config_spec_never_collides_with_a_registry_spec():
+    named = TaskSpec(task_id="t", scenario="fuzz.generic",
+                     params={"config": _config()})
+    inline = TaskSpec(task_id="t", scenario="fuzz.generic",
+                      config=_config())
+    assert named.canonical() != inline.canonical()
+
+
+def test_effective_params_merges_the_config():
+    spec = TaskSpec(task_id="t", scenario="fuzz.generic",
+                    config=_config())
+    assert spec.effective_params()["config"] == _config()
+
+
+def test_config_must_be_a_jsonable_mapping():
+    with pytest.raises(TypeError):
+        TaskSpec(task_id="t", scenario="s", config=[1, 2])
+    with pytest.raises(TypeError):
+        TaskSpec(task_id="t", scenario="s",
+                 config={"fn": lambda: None})

@@ -1,0 +1,121 @@
+"""`repro fuzz run / shrink / replay` end to end (tiny budgets)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec.spec import TaskSpec
+from repro.fuzz.corpus import load_entry, write_entry
+
+# seed 16's first two draws are small phantom scenarios — the cheapest
+# two-task campaign the generator produces among the low seeds
+FAST = ["--seed", "16", "--budget", "2", "-j", "2"]
+
+
+def run_fuzz(tmp_path, *extra, label="a"):
+    out = tmp_path / f"report_{label}.json"
+    manifest = tmp_path / f"manifest_{label}.json"
+    code = main(["fuzz", "run", *FAST,
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--output", str(out),
+                 "--manifest", str(manifest), *extra])
+    report = json.loads(out.read_text()) if out.exists() else None
+    mani = json.loads(manifest.read_text()) if manifest.exists() else None
+    return code, report, mani
+
+
+def tiny_pass_spec():
+    return TaskSpec(
+        task_id="tiny", scenario="fuzz.generic", seed=12,
+        config={"family": "dumbbell", "switches": ["S1", "S2"],
+                "trunks": [{"a": "S1", "b": "S2"}],
+                "link_rate": 150.0, "algorithm": "phantom",
+                "algorithm_params": {}, "duration": 0.1,
+                "sessions": [{"vc": "s0", "route": ["S1", "S2"]}]})
+
+
+def test_run_judges_and_reports(tmp_path, capsys):
+    code, report, mani = run_fuzz(tmp_path)
+    assert code == 0
+    judged = {j["task_id"]: j for j in report["judgments"]}
+    assert set(judged) == {"fuzz-16-0000", "fuzz-16-0001"}
+    assert all(j["classification"] == "pass" for j in judged.values())
+    assert report["counts"]["pass"] == 2
+    assert mani["command"] == "fuzz"
+    assert {t["task_id"] for t in mani["tasks"]} == set(judged)
+    assert all("classification" in t for t in mani["tasks"])
+    out = capsys.readouterr().out
+    assert "2 pass, 0 violated" in out
+
+    # cold run cannot satisfy --assert-cached; the warm one must
+    code2, _, _ = run_fuzz(tmp_path / "cold", "--assert-cached",
+                           label="cold")
+    assert code2 == 1
+    code3, report3, _ = run_fuzz(tmp_path, "--assert-cached", label="b")
+    assert code3 == 0
+    assert all(j["cached"] for j in report3["judgments"])
+
+
+def test_run_records_throughput(tmp_path):
+    bench = tmp_path / "bench.json"
+    code, _, _ = run_fuzz(tmp_path, "--record-bench", str(bench))
+    assert code == 0
+    cold = json.loads(bench.read_text())["fuzz"]["j2-cold"]
+    assert cold["budget"] == 2 and cold["cached"] == 0
+    assert cold["scenarios_per_sec"] > 0
+    code2, _, _ = run_fuzz(tmp_path, "--record-bench", str(bench),
+                           label="b")
+    assert code2 == 0
+    merged = json.loads(bench.read_text())["fuzz"]
+    assert merged["j2-warm"]["cached"] == 2
+    assert merged["j2-cold"] == cold  # the cold row survives the merge
+
+
+def test_run_rejects_bad_budget():
+    with pytest.raises(SystemExit, match="budget"):
+        main(["fuzz", "run", "--budget", "0"])
+
+
+def test_shrink_refuses_a_passing_spec(tmp_path, capsys):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(tiny_pass_spec().to_dict()))
+    with pytest.raises(SystemExit, match="nothing to shrink"):
+        main(["fuzz", "shrink", "--spec", str(spec_file),
+              "--cache-dir", str(tmp_path / "cache")])
+
+
+def test_shrink_rejects_a_non_spec_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"nonsense": True}))
+    with pytest.raises(SystemExit, match="does not hold a task spec"):
+        main(["fuzz", "shrink", "--spec", str(bad)])
+
+
+def test_replay_verifies_a_corpus_and_flags_divergence(tmp_path,
+                                                       capsys):
+    corpus = tmp_path / "corpus"
+    write_entry(corpus, "tiny-pass", tiny_pass_spec(),
+                expect={"classification": "pass"},
+                notes="CLI replay fixture")
+    code = main(["fuzz", "replay", "--corpus-dir", str(corpus),
+                 "--cache-dir", str(tmp_path / "cache")])
+    assert code == 0
+    assert "all reproduce" in capsys.readouterr().out
+
+    # flip the expectation: the same entry must now be DIVERGED
+    entry = load_entry(corpus / "tiny-pass.json")
+    entry["expect"] = {"classification": "violated",
+                       "checks": ["queue_bound"]}
+    (corpus / "tiny-pass.json").write_text(json.dumps(entry))
+    code2 = main(["fuzz", "replay", "--corpus-dir", str(corpus),
+                  "--cache-dir", str(tmp_path / "cache")])
+    assert code2 == 1
+    assert "DIVERGED" in capsys.readouterr().out
+
+
+def test_replay_empty_corpus_fails(tmp_path, capsys):
+    code = main(["fuzz", "replay",
+                 "--corpus-dir", str(tmp_path / "empty")])
+    assert code == 1
+    assert "no corpus entries" in capsys.readouterr().out

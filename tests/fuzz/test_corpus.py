@@ -1,0 +1,105 @@
+"""The committed regression corpus: schema validity and the tier-1
+replay gate — every entry must still reproduce its recorded judgment."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.exec.pool import run_tasks
+from repro.exec.spec import TaskSpec
+from repro.fuzz.corpus import (load_corpus, load_entry, replay_entry,
+                               validate_entry, write_entry)
+from repro.fuzz.harness import classify_result
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    entries = load_corpus(CORPUS)
+    assert entries, "committed corpus is empty"
+    return entries
+
+
+def test_corpus_has_the_promised_coverage(corpus):
+    assert len(corpus) >= 5
+    names = {entry["name"] for _, entry in corpus}
+    assert "binary-queue-ratchet" in names  # the one failing entry
+    classifications = {entry["expect"]["classification"]
+                       for _, entry in corpus}
+    assert classifications == {"pass", "violated"}
+
+
+def test_every_entry_validates_and_names_match_files(corpus):
+    for path, entry in corpus:
+        assert validate_entry(entry) == []
+        assert path.stem == entry["name"]
+        assert entry["notes"], f"{entry['name']} has no rationale"
+        assert entry["origin"], f"{entry['name']} has no origin"
+
+
+def test_corpus_replay_reproduces_every_entry(corpus):
+    # the tier-1 gate: batch all entries through the pool (parallel,
+    # cache-free) and hold each to its recorded judgment
+    specs = [TaskSpec.from_dict(entry["spec"]) for _, entry in corpus]
+    results = {r.spec.task_id: r for r in run_tasks(specs, retries=0)}
+    diverged = []
+    for _, entry in corpus:
+        judgment = classify_result(results[entry["spec"]["task_id"]])
+        expect = entry["expect"]
+        ok = (judgment["classification"] == expect["classification"]
+              and set(expect["checks"])
+              <= set(judgment.get("checks", [])))
+        if not ok:
+            diverged.append((entry["name"], expect, judgment))
+    assert not diverged, diverged
+
+
+def test_write_and_load_round_trip(tmp_path):
+    spec = TaskSpec(task_id="t", scenario="fuzz.generic", seed=5,
+                    config={"duration": 0.1, "sessions": []})
+    path = write_entry(tmp_path, "round-trip", spec,
+                       expect={"classification": "pass"},
+                       origin={"root_seed": 9}, notes="round trip")
+    entry = load_entry(path)
+    assert entry["name"] == "round-trip"
+    assert TaskSpec.from_dict(entry["spec"]).canonical() \
+        == spec.canonical()
+    assert entry["expect"] == {"classification": "pass", "checks": []}
+
+
+def test_write_entry_refuses_invalid(tmp_path):
+    spec = TaskSpec(task_id="t", scenario="fuzz.generic", seed=5,
+                    config={"duration": 0.1})
+    with pytest.raises(ValueError, match="invalid corpus entry"):
+        write_entry(tmp_path, "bad", spec, expect={})
+
+
+def test_validate_entry_pinpoints_problems():
+    assert validate_entry("nope") == ["corpus entry is not an object"]
+    problems = validate_entry({"schema": "wrong", "version": 0,
+                               "name": "", "spec": [],
+                               "expect": None})
+    joined = " ".join(problems)
+    for needle in ("schema", "version", "name", "spec",
+                   "expect.classification"):
+        assert needle in joined
+
+
+def test_replay_entry_flags_divergence(tmp_path):
+    # an entry that *expects* a violation but actually passes must
+    # come back as diverged, with the fresh judgment attached
+    spec = TaskSpec(
+        task_id="quiet", scenario="fuzz.generic", seed=3,
+        config={"family": "dumbbell", "switches": ["S1", "S2"],
+                "trunks": [{"a": "S1", "b": "S2"}],
+                "link_rate": 150.0, "algorithm": "phantom",
+                "algorithm_params": {}, "duration": 0.1,
+                "sessions": [{"vc": "s0", "route": ["S1", "S2"]}]})
+    path = write_entry(tmp_path, "quiet", spec,
+                       expect={"classification": "violated",
+                               "checks": ["queue_bound"]},
+                       notes="deliberately wrong expectation")
+    ok, judgment = replay_entry(load_entry(path))
+    assert not ok
+    assert judgment["classification"] == "pass"

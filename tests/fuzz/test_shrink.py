@@ -1,0 +1,137 @@
+"""Greedy shrinking against synthetic judges: no simulation, the
+algorithm's contract in isolation.  (The committed binary-queue-ratchet
+corpus entry is the end-to-end witness that a real simulated failure
+shrinks and reproduces; tests/fuzz/test_corpus.py replays it.)"""
+
+import pytest
+
+from repro.exec.spec import TaskSpec
+from repro.fuzz.shrink import MIN_DURATION, config_size, shrink
+
+
+def crufty_config():
+    """Big config whose failure (by the judges below) needs only the
+    two sessions crossing S1->S2."""
+    return {
+        "family": "chain",
+        "switches": ["S1", "S2", "S3", "S4"],
+        "trunks": [{"a": "S1", "b": "S2", "rate": 100.0},
+                   {"a": "S2", "b": "S3", "delay": 1e-4},
+                   {"a": "S3", "b": "S4"}],
+        "link_rate": 150.0,
+        "algorithm": "phantom",
+        "algorithm_params": {"utilization_factor": 5.0,
+                             "interval": 1e-3},
+        "duration": 0.4,
+        "rm_loss": 0.02,
+        "sessions": [
+            {"vc": "s0", "route": ["S1", "S2"], "start": 0.01,
+             "access_delay": 1e-4, "params": {"weight": 2.0}},
+            {"vc": "s1", "route": ["S1", "S2"], "start": 0.02,
+             "access_delay": 2e-4, "params": {"mcr": 5.0}},
+            {"vc": "s2", "route": ["S2", "S3", "S4"],
+             "access_delay": 3e-4,
+             "onoff": {"on": 0.01, "off": 0.02}},
+            {"vc": "s3", "route": ["S4", "S3"], "start": 0.03,
+             "access_delay": 4e-4},
+            {"vc": "s4", "route": ["S2", "S3"], "start": 0.04,
+             "access_delay": 5e-4, "params": {"weight": 4.0},
+             "onoff": {"on": 0.02, "off": 0.01}},
+        ],
+        "vbr": [{"vc": "v0", "route": ["S3", "S4"], "peak": 20.0,
+                 "mean_on": 0.01, "mean_off": 0.01}],
+        "cbr": [{"vc": "c0", "route": ["S2", "S3"], "rate": 30.0,
+                 "start": 0.05, "stop": 0.3}],
+    }
+
+
+def spec_of(config):
+    probes = tuple(f"{s['vc']}.acr" for s in config["sessions"])
+    return TaskSpec(task_id="crafted", scenario="fuzz.generic",
+                    seed=77, probes=probes, config=config)
+
+
+def congestion_judge(candidate):
+    """Synthetic failure: violated while >= 2 sessions cross S1->S2."""
+    crossing = sum(
+        1 for s in candidate.config["sessions"]
+        if ("S1", "S2") in zip(s["route"], s["route"][1:]))
+    if crossing >= 2:
+        return {"classification": "violated",
+                "checks": ["queue_bound"]}
+    return {"classification": "pass", "checks": []}
+
+
+def test_shrink_reaches_the_minimal_core():
+    report = shrink(spec_of(crufty_config()), judge=congestion_judge)
+    minimized = report["spec"].config
+    # only the two S1->S2 sessions survive, stripped to vc+route, and
+    # the topology prunes to the one trunk they cross
+    assert [s["vc"] for s in minimized["sessions"]] == ["s0", "s1"]
+    assert all(set(s) == {"vc", "route"}
+               for s in minimized["sessions"])
+    assert minimized["switches"] == ["S1", "S2"]
+    assert "vbr" not in minimized and "cbr" not in minimized
+    assert "rm_loss" not in minimized
+    assert report["size_after"] <= 0.25 * report["size_before"]
+    assert report["signature"] == {"classification": "violated",
+                                   "check": "queue_bound"}
+
+
+def test_minimized_spec_keeps_identity_and_filters_probes():
+    report = shrink(spec_of(crufty_config()), judge=congestion_judge)
+    minimized = report["spec"]
+    assert minimized.task_id == "crafted-min"
+    assert minimized.scenario == "fuzz.generic"
+    assert minimized.seed == 77
+    # probes of dropped sessions go with them, survivors keep theirs
+    assert minimized.probes == ("s0.acr", "s1.acr")
+
+
+def test_duration_never_shrinks_below_the_floor():
+    def always_fails(candidate):
+        return {"classification": "crash", "checks": []}
+
+    report = shrink(spec_of(crufty_config()), judge=always_fails)
+    assert float(report["spec"].config["duration"]) >= MIN_DURATION
+
+
+def test_secondary_checks_may_drop_but_not_the_primary():
+    # the judge loses the secondary symptom once cruft is gone; the
+    # shrink must still accept those candidates (primary reproduces)
+    def two_symptom_judge(candidate):
+        checks = ["queue_bound"]
+        if "rm_loss" in candidate.config:
+            checks.append("conservation")
+        return {"classification": "violated", "checks": checks}
+
+    report = shrink(spec_of(crufty_config()), judge=two_symptom_judge)
+    assert "rm_loss" not in report["spec"].config
+    assert report["signature"]["check"] == "queue_bound"
+
+
+def test_passing_spec_is_rejected():
+    def passes(candidate):
+        return {"classification": "pass", "checks": []}
+
+    with pytest.raises(ValueError, match="passes"):
+        shrink(spec_of(crufty_config()), judge=passes)
+
+
+def test_configless_spec_is_rejected():
+    spec = TaskSpec(task_id="named", scenario="atm.staggered", seed=0)
+    with pytest.raises(ValueError, match="inline config"):
+        shrink(spec)
+
+
+def test_attempts_count_the_judged_candidates():
+    calls = []
+
+    def counting_judge(candidate):
+        calls.append(config_size(candidate.config))
+        return congestion_judge(candidate)
+
+    report = shrink(spec_of(crufty_config()), judge=counting_judge)
+    assert report["attempts"] == len(calls) - 1  # first call = original
+    assert report["size_after"] == config_size(report["spec"].config)
+    assert calls[0] == report["size_before"]

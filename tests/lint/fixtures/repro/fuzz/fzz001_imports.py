@@ -1,0 +1,24 @@
+"""FZZ001 fixture: global randomness/clock imports in a core fuzz
+module.
+
+Flagged lines are tagged; the injected-handle imports and the pragma'd
+twin must stay silent.
+"""
+
+import random  # violation
+import time  # violation
+import datetime  # violation
+import uuid  # violation
+import secrets  # violation
+from random import randint  # violation
+from random import Random, shuffle  # violation
+from time import perf_counter  # violation
+from datetime import datetime as DateTime  # violation
+
+# the sanctioned injection surfaces
+from random import Random
+from repro.sim import RngStreams
+from repro.sim.rng import RngStreams
+from repro.exec.spec import TaskSpec, derive_seed
+
+import time  # lint: disable=FZZ001

@@ -1,0 +1,64 @@
+"""FZZ001 — fuzz modules draw only from injected Random/RngStreams."""
+
+from tests.lint.helpers import assert_rule_matches_fixture, lint_snippet
+
+
+def test_fzz001_fixture():
+    assert_rule_matches_fixture("FZZ001", "fzz001_imports.py",
+                                package="fuzz")
+
+
+def test_fzz001_only_applies_to_core_fuzz_modules():
+    source = "import random\n"
+    in_fuzz = [f for f in lint_snippet(
+        source, "src/repro/fuzz/gen.py") if f.rule_id == "FZZ001"]
+    elsewhere = [f for f in lint_snippet(
+        source, "src/repro/scenarios/workloads.py")
+        if f.rule_id == "FZZ001"]
+    assert len(in_fuzz) == 1
+    assert elsewhere == []
+
+
+def test_fzz001_exempts_the_driver_module():
+    source = "import time\nimport random\n"
+    findings = [f for f in lint_snippet(
+        source, "src/repro/fuzz/cli.py") if f.rule_id == "FZZ001"]
+    assert findings == []
+
+
+def test_fzz001_allows_the_injected_handle_surfaces():
+    source = ("from random import Random\n"
+              "from repro.sim import RngStreams\n"
+              "from repro.sim.rng import RngStreams\n"
+              "from repro.exec.spec import TaskSpec, derive_seed\n")
+    findings = [f for f in lint_snippet(
+        source, "src/repro/fuzz/gen.py") if f.rule_id == "FZZ001"]
+    assert findings == []
+
+
+def test_fzz001_flags_nonclass_names_from_random():
+    source = "from random import Random, choice\n"
+    findings = [f for f in lint_snippet(
+        source, "src/repro/fuzz/shrink.py") if f.rule_id == "FZZ001"]
+    assert len(findings) == 1
+    assert "choice" in findings[0].message
+
+
+def test_fzz001_message_names_the_module():
+    source = "import secrets\n"
+    findings = [f for f in lint_snippet(
+        source, "src/repro/fuzz/oracle.py") if f.rule_id == "FZZ001"]
+    assert len(findings) == 1
+    assert "secrets" in findings[0].message
+
+
+def test_shipped_fuzz_package_is_fzz001_clean():
+    from pathlib import Path
+
+    from repro.lint import lint_paths
+
+    package = (Path(__file__).resolve().parents[2]
+               / "src" / "repro" / "fuzz")
+    findings, files = lint_paths([str(package)], select=["FZZ001"])
+    assert files >= 6
+    assert findings == []
